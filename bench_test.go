@@ -1,0 +1,458 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablation benches for the design choices DESIGN.md
+// calls out. Each benchmark drives the same experiment constructors as
+// cmd/cherivoke and reports the headline simulated metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the paper's
+// numbers alongside the reproduction's own execution cost.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func benchOpts() experiments.Options { return experiments.Quick() }
+
+// BenchmarkTable2Metadata regenerates Table 2 and reports the measured
+// aggregate free rate.
+func BenchmarkTable2Metadata(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rate float64
+		for _, r := range rows {
+			rate += r.MeasuredFreeRateMiB
+		}
+		b.ReportMetric(rate, "MiB-freed/s-total")
+	}
+}
+
+// BenchmarkFig5ExecutionTime regenerates Figure 5a and reports CHERIvoke's
+// geomean normalised execution time (paper: 1.047).
+func BenchmarkFig5ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cv []float64
+		for _, r := range rows {
+			cv = append(cv, r.CheriVoke.Runtime)
+		}
+		b.ReportMetric(experiments.Geomean(cv), "geomean-exec-time")
+	}
+}
+
+// BenchmarkFig5Memory regenerates Figure 5b and reports CHERIvoke's geomean
+// normalised memory utilisation (paper: ~1.125).
+func BenchmarkFig5Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var m []float64
+		for _, r := range rows {
+			m = append(m, r.CheriVoke.Memory)
+		}
+		b.ReportMetric(experiments.Geomean(m), "geomean-memory")
+	}
+}
+
+// BenchmarkFig6Decomposition regenerates Figure 6 and reports the worst-case
+// total (paper: 1.51, xalancbmk).
+func BenchmarkFig6Decomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		decs, err := experiments.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, d := range decs {
+			if d.PlusSweep > worst {
+				worst = d.PlusSweep
+			}
+		}
+		b.ReportMetric(worst, "worst-exec-time")
+	}
+}
+
+// BenchmarkFig7SweepKernels regenerates Figure 7, with one sub-benchmark per
+// kernel reporting the best simulated bandwidth in MiB/s.
+func BenchmarkFig7SweepKernels(b *testing.B) {
+	for _, k := range []sim.Kernel{sim.KernelSimple, sim.KernelUnrolled, sim.KernelVector} {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig7(benchOpts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				best := 0.0
+				for _, r := range rows {
+					if bw := r.Bandwidth[k]; bw > best {
+						best = bw
+					}
+				}
+				b.ReportMetric(best/sim.MiB, "MiB/s-best")
+			}
+		})
+	}
+}
+
+// BenchmarkFig8SweepProportion regenerates Figure 8a, reporting the mean
+// swept proportion under CLoadTags.
+func BenchmarkFig8SweepProportion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.Tags
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-swept-proportion")
+	}
+}
+
+// BenchmarkFig8AssistSpeedup regenerates Figure 8b, reporting the CLoadTags
+// probe overhead at full density (normalised time minus 1).
+func BenchmarkFig8AssistSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig8b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		b.ReportMetric(last.Tags-1, "cloadtags-overhead-at-full-density")
+	}
+}
+
+// BenchmarkFig9TradeOff regenerates Figure 9, reporting xalancbmk's
+// execution time at 200% heap overhead.
+func BenchmarkFig9TradeOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Xalancbmk, "xalancbmk-at-200pct")
+	}
+}
+
+// BenchmarkFig10Traffic regenerates Figure 10, reporting the worst traffic
+// overhead (paper: ~16-18%, xalancbmk).
+func BenchmarkFig10Traffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range rows {
+			if r.TrafficOverheadPct > worst {
+				worst = r.TrafficOverheadPct
+			}
+		}
+		b.ReportMetric(worst, "worst-traffic-pct")
+	}
+}
+
+// BenchmarkAnalyticModel evaluates §6.1.3's closed-form model across all
+// profiles (it is nanoseconds; the benchmark documents that the model is
+// effectively free compared to measurement).
+func BenchmarkAnalyticModel(b *testing.B) {
+	profiles := workload.All()
+	machine := sim.X86()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		for _, p := range profiles {
+			sum += p.FreeRateMiB * p.PageDensity / (8e9 / (1 << 20) * 0.25)
+		}
+	}
+	_ = machine
+	b.ReportMetric(sum/float64(b.N*len(profiles)), "mean-model-overhead")
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// BenchmarkAblationPainting compares the run-optimised shadow-map painter
+// (§5.2: byte/word stores for aligned runs) against the naive per-bit
+// painter, on the chunk-size mixture of a small-object workload.
+func BenchmarkAblationPainting(b *testing.B) {
+	const base, size = uint64(0x10000000), uint64(32 << 20)
+	chunks := make([]quarantine.Chunk, 0, 4096)
+	addr := base
+	for i := 0; addr+4096 < base+size; i++ {
+		sz := uint64(16 + i%64*16)
+		chunks = append(chunks, quarantine.Chunk{Addr: addr, Size: sz})
+		addr += sz + 16
+	}
+	b.Run("optimised", func(b *testing.B) {
+		m, _ := shadow.New(base, size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range chunks {
+				if err := m.Paint(c.Addr, c.Size); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m.ClearAll()
+		}
+		b.ReportMetric(float64(len(chunks)), "chunks/op")
+	})
+	b.Run("naive", func(b *testing.B) {
+		m, _ := shadow.New(base, size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range chunks {
+				if err := m.PaintNaive(c.Addr, c.Size); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m.ClearAll()
+		}
+		b.ReportMetric(float64(len(chunks)), "chunks/op")
+	})
+}
+
+// BenchmarkAblationCoalescing measures quarantine insertion with adjacent
+// (coalescing) versus scattered (non-coalescing) free patterns — the
+// batching effect of §6.1.1.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	const n = 4096
+	b.Run("adjacent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf := quarantine.New()
+			for j := uint64(0); j < n; j++ {
+				if err := buf.Insert(0x10000000+j*64, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if got := buf.Len(); got != 1 {
+				b.Fatalf("adjacent inserts left %d chunks", got)
+			}
+			b.ReportMetric(float64(n)/float64(buf.Stats().DrainedOut+uint64(buf.Len())), "frees-per-chunk")
+			buf.Drain()
+		}
+	})
+	b.Run("scattered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf := quarantine.New()
+			for j := uint64(0); j < n; j++ {
+				if err := buf.Insert(0x10000000+j*128, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if got := buf.Len(); got != n {
+				b.Fatalf("scattered inserts coalesced to %d chunks", got)
+			}
+			buf.Drain()
+		}
+	})
+}
+
+// ablationHeap builds a populated CHERIvoke system for sweep ablations.
+func ablationHeap(b *testing.B, cfg revoke.Config) *core.System {
+	b.Helper()
+	sys, err := core.New(core.Config{
+		Policy: quarantine.Policy{Fraction: 0.25, MinBytes: 64 << 10},
+		Revoke: cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := workload.ByName("omnetpp")
+	if _, err := workload.Run(sys, p, workload.Options{MaxLiveBytes: 8 << 20, MinSweeps: 1}); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkAblationAssists sweeps the same heap image with neither assist,
+// CapDirty only, CLoadTags only, and both (§6.3).
+func BenchmarkAblationAssists(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  revoke.Config
+	}{
+		{"none", revoke.Config{}},
+		{"capdirty", revoke.Config{UseCapDirty: true}},
+		{"cloadtags", revoke.Config{UseCLoadTags: true}},
+		{"both", revoke.Config{UseCapDirty: true, UseCLoadTags: true}},
+	}
+	machine := sim.X86()
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sys := ablationHeap(b, c.cfg)
+			sw := revoke.New(sys.Mem(), sys.Shadow(), c.cfg)
+			b.ResetTimer()
+			var simSeconds float64
+			for i := 0; i < b.N; i++ {
+				st, err := sw.Sweep(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simSeconds = machine.SweepTime(c.cfg.Kernel.Costs(), st.Work(1))
+				b.ReportMetric(float64(st.BytesRead), "bytes-swept/op")
+			}
+			b.ReportMetric(simSeconds*1e6, "sim-us/sweep")
+		})
+	}
+}
+
+// BenchmarkAblationParallelSweep shards the sweep across 1–8 goroutines
+// (§3.5) and reports both host time and simulated time.
+func BenchmarkAblationParallelSweep(b *testing.B) {
+	machine := sim.X86()
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := revoke.Config{UseCapDirty: true, Shards: shards}
+		b.Run(map[int]string{1: "shards-1", 2: "shards-2", 4: "shards-4", 8: "shards-8"}[shards], func(b *testing.B) {
+			sys := ablationHeap(b, cfg)
+			sw := revoke.New(sys.Mem(), sys.Shadow(), cfg)
+			b.ResetTimer()
+			var simSeconds float64
+			for i := 0; i < b.N; i++ {
+				st, err := sw.Sweep(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simSeconds = machine.SweepTime(cfg.Kernel.Costs(), st.Work(shards))
+			}
+			b.ReportMetric(simSeconds*1e6, "sim-us/sweep")
+		})
+	}
+}
+
+// BenchmarkExtensionVariants prices the §8 extension directions end to end
+// on the worst-case workload, reporting each variant's normalised execution
+// time.
+func BenchmarkExtensionVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Extensions(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Runtime, "x-"+shortName(r.Name))
+		}
+	}
+}
+
+func shortName(s string) string {
+	switch s {
+	case "CHERIvoke (stop-the-world)":
+		return "stw"
+	case "CHERIvoke + concurrent sweep":
+		return "concurrent"
+	case "CHERIvoke + unmap large frees":
+		return "unmap"
+	case "Cling-style typed reuse only":
+		return "cling"
+	default:
+		return "direct"
+	}
+}
+
+// BenchmarkVMPrograms measures the capability virtual machine executing a
+// malloc/free loop that triggers automatic revocations.
+func BenchmarkVMPrograms(b *testing.B) {
+	prog := []vm.Instr{
+		{Op: vm.OpMovXI, Xd: 1, Imm: 0},
+		{Op: vm.OpMovXI, Xd: 2, Imm: 256},
+		{Op: vm.OpMalloc, Cd: 1, Imm: 2048},
+		{Op: vm.OpMovXI, Xd: 3, Imm: 42},
+		{Op: vm.OpStoreW, Ca: 1, Xa: 3},
+		{Op: vm.OpFree, Ca: 1},
+		{Op: vm.OpAddX, Xd: 1, Xa: 1, Imm: 1},
+		{Op: vm.OpBeqX, Xa: 1, Xb: 2, Imm: 9},
+		{Op: vm.OpJmp, Imm: 2},
+		{Op: vm.OpHalt},
+	}
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(core.Config{
+			Policy: quarantine.Policy{Fraction: 0.25, MinBytes: 64 << 10},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := vm.New(sys)
+		if err := m.Run(prog, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Steps()), "instrs/op")
+	}
+}
+
+// BenchmarkTraceRecordReplay measures trace capture and replay of an
+// omnetpp run.
+func BenchmarkTraceRecordReplay(b *testing.B) {
+	p, _ := workload.ByName("omnetpp")
+	var tr workload.Trace
+	sys, err := core.New(core.Config{Policy: quarantine.Policy{Fraction: 0.25, MinBytes: 64 << 10}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := workload.Run(sys, p, workload.Options{
+		MinSweeps: 1, MaxLiveBytes: 2 << 20, Record: &tr,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replaySys, err := core.New(core.Config{Policy: quarantine.Policy{Fraction: 0.25, MinBytes: 64 << 10}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := workload.Replay(replaySys, &tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "events/op")
+	}
+}
+
+// BenchmarkCapabilityOps measures the raw capability substrate: bounds
+// compression round trips and checked memory operations.
+func BenchmarkCapabilityOps(b *testing.B) {
+	root := cap.MustRoot(0, 1<<48)
+	b.Run("setbounds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := root.SetBounds(uint64(i%1024)*4096+0x10000000, 4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-decode", func(b *testing.B) {
+		c, _ := root.SetBounds(0x10000000, 4096)
+		for i := 0; i < b.N; i++ {
+			lo, hi := c.Encode()
+			c = cap.Decode(lo, hi, true)
+		}
+	})
+	b.Run("checked-store", func(b *testing.B) {
+		m := mem.New()
+		if err := m.Map(0x10000000, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		c, _ := root.SetBounds(0x10000000, 1<<20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.StoreWord(c, 0x10000000+uint64(i%4096)*8, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,409 @@
+// Command cherivoke regenerates the tables and figures of the CHERIvoke
+// paper's evaluation on the simulated CHERI system.
+//
+// Usage:
+//
+//	cherivoke [-quick] [-seed N] [table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|ablations|invariance|all]
+//	cherivoke [-quick] trace <benchmark> <file.json>   # record a workload trace
+//	cherivoke replay <file.json>                       # replay it under both allocators
+//
+// Output is textual: each figure prints the same rows/series the paper
+// plots. Everything is deterministic for a given seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-scale run (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 0, "workload generator seed (0 = default)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cherivoke [-quick] [-seed N] [table1|table2|fig5..fig10|ablations|invariance|all]\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke [-quick] trace <benchmark> <file.json>\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke replay <file.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+
+	switch what {
+	case "trace":
+		if flag.NArg() != 3 {
+			fmt.Fprintln(os.Stderr, "usage: cherivoke trace <benchmark> <file.json>")
+			os.Exit(2)
+		}
+		if err := traceCmd(opts, flag.Arg(1), flag.Arg(2)); err != nil {
+			fatal(err)
+		}
+		return
+	case "replay":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: cherivoke replay <file.json>")
+			os.Exit(2)
+		}
+		if err := replayCmd(flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	runners := map[string]func(experiments.Options) error{
+		"table1":     func(experiments.Options) error { return table1() },
+		"table2":     table2,
+		"fig5":       fig5,
+		"fig6":       fig6,
+		"fig7":       fig7,
+		"fig8":       fig8,
+		"fig9":       fig9,
+		"fig10":      fig10,
+		"ablations":  ablations,
+		"invariance": invariance,
+	}
+	order := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "invariance"}
+
+	if what == "all" {
+		for _, name := range order {
+			if err := runners[name](opts); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := runners[what]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(opts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cherivoke:", err)
+	os.Exit(1)
+}
+
+// traceCmd records one benchmark's workload run to a JSON trace file.
+func traceCmd(opts experiments.Options, benchmark, path string) error {
+	p, ok := workload.ByName(benchmark)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (see table2 for names)", benchmark)
+	}
+	sys, err := core.New(core.Config{
+		Policy: quarantine.Policy{Fraction: opts.Fraction, MinBytes: 64 << 10},
+		Revoke: revoke.Config{Kernel: sim.KernelVector, UseCapDirty: true, Launder: true},
+	})
+	if err != nil {
+		return err
+	}
+	var tr workload.Trace
+	res, err := workload.Run(sys, p, workload.Options{
+		Seed:         opts.Seed,
+		MaxLiveBytes: opts.MaxLiveBytes,
+		MinSweeps:    opts.MinSweeps,
+		Record:       &tr,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d events (%d mallocs, %d frees, %d sweeps) -> %s\n",
+		benchmark, len(tr.Events), res.Mallocs, res.Frees, res.Sys.Stats().Sweeps, path)
+	return f.Close()
+}
+
+// replayCmd replays a JSON trace under both the CHERIvoke and direct-free
+// configurations, printing the comparison.
+func replayCmd(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.ReadTraceJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %q: %d events (seed %#x)\n", tr.Name, len(tr.Events), tr.Seed)
+	for _, mode := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"CHERIvoke", core.Config{
+			Policy: quarantine.Policy{Fraction: 0.25, MinBytes: 64 << 10},
+			Revoke: revoke.Config{Kernel: sim.KernelVector, UseCapDirty: true, Launder: true},
+		}},
+		{"direct-free", core.Config{DirectFree: true}},
+	} {
+		sys, err := core.New(mode.cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := workload.Replay(sys, tr); err != nil {
+			return fmt.Errorf("replaying under %s: %w", mode.name, err)
+		}
+		st := sys.Stats()
+		fmt.Printf("  %-12s heap %6.2f MiB, %3d sweeps, %6d caps revoked, sweep time %8.3f ms\n",
+			mode.name, float64(sys.HeapBytes())/(1<<20), st.Sweeps, st.CapsRevoked, st.SweepSeconds*1e3)
+	}
+	return nil
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func table1() error {
+	fmt.Println("== Table 1: System setup ==")
+	w := newTab()
+	for _, r := range experiments.Table1() {
+		fmt.Fprintf(w, "%s\t%s\n", r.System, r.Spec)
+	}
+	return w.Flush()
+}
+
+func table2(opts experiments.Options) error {
+	fmt.Println("\n== Table 2: Deallocation metadata (measured vs paper) ==")
+	rows, err := experiments.Table2(opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Benchmark\tPages w/ pointers\t(paper)\tFree rate MiB/s\t(paper)\tFrees k/s\t(paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f%%\t%.0f%%\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.Name,
+			r.MeasuredPageDensity*100, r.PaperPageDensity*100,
+			r.MeasuredFreeRateMiB, r.PaperFreeRateMiB,
+			r.MeasuredFreesPerSec/1000, r.PaperFreesPerSec/1000)
+	}
+	return w.Flush()
+}
+
+func fig5(opts experiments.Options) error {
+	fmt.Println("\n== Figure 5: CHERIvoke vs state-of-the-art temporal-safety systems ==")
+	rows, err := experiments.Fig5(opts)
+	if err != nil {
+		return err
+	}
+	schemes := []string{"Oscar", "pSweeper", "DangSan", "Boehm-GC"}
+
+	fmt.Println("-- (a) Normalised execution time --")
+	w := newTab()
+	fmt.Fprintln(w, "Benchmark\tCHERIvoke\tOscar\tpSweeper\tDangSan\tBoehm-GC")
+	var cv []float64
+	per := map[string][]float64{}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f", r.Name, r.CheriVoke.Runtime)
+		cv = append(cv, r.CheriVoke.Runtime)
+		for _, s := range schemes {
+			fmt.Fprintf(w, "\t%.2f", r.Schemes[s].Runtime)
+			per[s] = append(per[s], r.Schemes[s].Runtime)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "geomean\t%.3f", experiments.Geomean(cv))
+	for _, s := range schemes {
+		fmt.Fprintf(w, "\t%.3f", experiments.Geomean(per[s]))
+	}
+	fmt.Fprintln(w)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("-- (b) Normalised memory utilisation --")
+	w = newTab()
+	fmt.Fprintln(w, "Benchmark\tCHERIvoke\tOscar\tpSweeper\tDangSan\tBoehm-GC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f", r.Name, r.CheriVoke.Memory)
+		for _, s := range schemes {
+			fmt.Fprintf(w, "\t%.2f", r.Schemes[s].Memory)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func fig6(opts experiments.Options) error {
+	fmt.Println("\n== Figure 6: Decomposition of run-time overheads (25% heap overhead) ==")
+	decs, err := experiments.Fig6(opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Benchmark\tquarantine only\t+ shadow space\t+ sweeping")
+	var totals []float64
+	for _, d := range decs {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\n", d.Name, d.QuarantineOnly, d.PlusShadow, d.PlusSweep)
+		if d.Name != "ffmpeg" {
+			totals = append(totals, d.PlusSweep)
+		}
+	}
+	fmt.Fprintf(w, "geomean (SPEC)\t\t\t%.3f\n", experiments.Geomean(totals))
+	return w.Flush()
+}
+
+func fig7(opts experiments.Options) error {
+	fmt.Println("\n== Figure 7: Sweep-loop memory bandwidth (MiB/s; system read bandwidth 19405 MiB/s) ==")
+	rows, err := experiments.Fig7(opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Benchmark\tSimple loop\tUnrolled+pipelined\tAVX2")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\n", r.Name,
+			r.Bandwidth[sim.KernelSimple]/sim.MiB,
+			r.Bandwidth[sim.KernelUnrolled]/sim.MiB,
+			r.Bandwidth[sim.KernelVector]/sim.MiB)
+	}
+	return w.Flush()
+}
+
+func fig8(opts experiments.Options) error {
+	fmt.Println("\n== Figure 8a: Proportion of memory swept under each assist ==")
+	rows, err := experiments.Fig8a(opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Benchmark\tPTE CapDirty\tCLoadTags")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\n", r.Name, r.CapDirty, r.Tags)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("-- Figure 8b: Normalised sweep time vs density (CHERI FPGA model) --")
+	pts, err := experiments.Fig8b(opts)
+	if err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "Density\tPTE dirty\tCLoadTags\tIdealised")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%.1f\t%.3f\t%.3f\t%.3f\n", p.Density, p.CapDirty, p.Tags, p.Ideal)
+	}
+	return w.Flush()
+}
+
+func fig9(opts experiments.Options) error {
+	fmt.Println("\n== Figure 9: Execution time vs heap overhead (worst-case workloads) ==")
+	rows, err := experiments.Fig9(opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Heap overhead %\tXalancbmk\tOmnetpp")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.1f\t%.3f\t%.3f\n", r.HeapOverheadPct, r.Xalancbmk, r.Omnetpp)
+	}
+	return w.Flush()
+}
+
+func ablations(opts experiments.Options) error {
+	fmt.Println("\n== Ablations: hardware assists (CHERI FPGA timing; §6.3) ==")
+	for _, wl := range []string{"omnetpp", "hmmer"} {
+		rows, err := experiments.AblationAssists(opts, wl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s --\n", wl)
+		w := newTab()
+		fmt.Fprintln(w, "Configuration\tsim µs/sweep\tMB read\ttag probes\tpages swept")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.0f\t%.2f\t%d\t%d\n",
+				r.Name, r.SimMicros, float64(r.BytesRead)/(1<<20), r.TagProbes, r.PagesSwept)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("\n== Ablations: parallel sweep (§3.5) ==")
+	rows, err := experiments.AblationParallel(opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Shards\tsim µs/sweep")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\n", r.Name, r.SimMicros)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\n== Extensions (§8) on xalancbmk ==")
+	exts, err := experiments.Extensions(opts)
+	if err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "Variant\texec time\tsweeps\tunmapped MiB\theap MiB\tsafety")
+	for _, e := range exts {
+		fmt.Fprintf(w, "%s\t%.3f\t%d\t%.1f\t%.1f\t%s\n",
+			e.Name, e.Runtime, e.Sweeps, e.UnmappedMiB, e.HeapMiB, e.Safety)
+	}
+	return w.Flush()
+}
+
+func invariance(opts experiments.Options) error {
+	fmt.Println("\n== Scale invariance of relative overhead (xalancbmk; §6.1.3) ==")
+	pts, err := experiments.ScaleInvariance(opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Simulated live heap MiB\tnormalised exec time")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%.0f\t%.3f\n", p.LiveMiB, p.Runtime)
+	}
+	return w.Flush()
+}
+
+func fig10(opts experiments.Options) error {
+	fmt.Println("\n== Figure 10: Off-core-traffic overhead (%) ==")
+	rows, err := experiments.Fig10(opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Benchmark\tTraffic overhead %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\n", r.Name, r.TrafficOverheadPct)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,109 @@
+// Quickstart: the CHERIvoke lifecycle in one file.
+//
+// It allocates an object, stores data and a capability through it, frees it,
+// forces a revocation sweep, and shows that every stale reference — held in
+// a register root or in heap memory — is revoked, while the recycled memory
+// is freshly usable through its new allocation's capability.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+)
+
+func main() {
+	sys, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Allocate: Malloc returns a tagged capability bounded to exactly
+	// this allocation. There is no other way to reach the memory.
+	buf, err := sys.Malloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocated: %v\n", buf)
+
+	// Register the capability as a root: in real CHERI the register file
+	// and stack are swept directly; the simulation sweeps what you
+	// register.
+	sys.AddRoot(&buf)
+
+	// Use it: stores and loads are bounds- and permission-checked.
+	if err := sys.Mem().StoreWord(buf, buf.Base(), 0x1234); err != nil {
+		log.Fatal(err)
+	}
+	v, err := sys.Mem().LoadWord(buf, buf.Base())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored and loaded %#x through the capability\n", v)
+
+	// Out-of-bounds access? Trapped by the architecture, not the
+	// allocator.
+	if err := sys.Mem().StoreWord(buf, buf.Base()+64, 1); errors.Is(err, cap.ErrBounds) {
+		fmt.Println("out-of-bounds store trapped: spatial safety")
+	}
+
+	// Stash a second reference inside another heap object: a realistic
+	// aliasing pattern the revoker must find.
+	holder, err := sys.Malloc(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.AddRoot(&holder)
+	if err := sys.Mem().StoreCap(holder, holder.Base(), buf); err != nil {
+		log.Fatal(err)
+	}
+
+	// Free: the chunk goes to quarantine — it is NOT reusable yet, and
+	// stale capabilities still exist. That is safe: nothing else can be
+	// allocated over it before the sweep (§3.7: CHERIvoke prevents
+	// use-after-reallocation).
+	if err := sys.Free(buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("freed: %d bytes in quarantine\n", sys.QuarantineBytes())
+
+	// Revoke: paint the shadow map, sweep memory + roots, recycle.
+	rep, err := sys.Revoke()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep: %d capabilities found, %d revoked in memory, %d in roots (simulated %.1fµs)\n",
+		rep.Sweep.CapsFound, rep.Sweep.CapsRevoked, rep.Sweep.RegsRevoked, rep.SweepSeconds*1e6)
+
+	// Every stale path is now dead.
+	if _, err := sys.Mem().LoadWord(buf, buf.Base()); errors.Is(err, cap.ErrTagCleared) {
+		fmt.Println("stale root capability: revoked")
+	}
+	inHeap, err := sys.Mem().LoadCap(holder, holder.Base())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !inHeap.Tag() {
+		fmt.Println("stale heap-stored capability: revoked")
+	}
+
+	// The address is recycled — and perfectly safe to reuse.
+	again, err := sys.Malloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reallocated the same chunk at %#x: fresh capability works: ", again.Base())
+	if err := sys.Mem().StoreWord(again, again.Base(), 0x5678); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ok")
+
+	st := sys.Stats()
+	fmt.Printf("\nstats: %d mallocs, %d frees, %d sweeps, %d capabilities revoked\n",
+		st.Mallocs, st.Frees, st.Sweeps, st.CapsRevoked+st.RootsRevoked)
+}

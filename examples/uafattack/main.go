@@ -1,0 +1,146 @@
+// uafattack reproduces the use-after-free attack of Figure 1 of the paper —
+// a reallocated "vtable" overwritten with an attacker-controlled function
+// pointer — and shows CHERIvoke defeating it.
+//
+// The scenario, in the C++ terms of the paper:
+//
+//  1. an object with a vtable pointer is deleted; a dangling pointer to it
+//     survives;
+//  2. the allocator reuses the memory for a buffer the attacker fills over
+//     the network;
+//  3. a second delete through the dangling pointer jumps through what it
+//     believes is the vtable — now attacker data — handing over control.
+//
+// Run with: go run ./examples/uafattack
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+	"repro/internal/quarantine"
+)
+
+// evilEntry is the attacker's chosen jump target.
+const evilEntry = uint64(0xBAD00000)
+
+// victim models the C++ object: word 0 is its vtable pointer (stored as a
+// capability to the vtable object).
+type victim struct {
+	obj    cap.Capability
+	vtable cap.Capability
+}
+
+func newVictim(sys *core.System) (*victim, error) {
+	vt, err := sys.Malloc(32) // the "vtable": destructor entry at word 0
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Mem().StoreWord(vt, vt.Base(), 0x00D7001); err != nil {
+		return nil, err
+	}
+	obj, err := sys.Malloc(64)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Mem().StoreCap(obj, obj.Base(), vt); err != nil {
+		return nil, err
+	}
+	return &victim{obj: obj, vtable: vt}, nil
+}
+
+// destructorEntry follows the object's vtable pointer and reads the entry the
+// program would jump to — the attack's control-flow pivot.
+func destructorEntry(sys *core.System, obj cap.Capability) (uint64, error) {
+	vt, err := sys.Mem().LoadCap(obj, obj.Base())
+	if err != nil {
+		return 0, err
+	}
+	return sys.Mem().LoadWord(vt, vt.Addr())
+}
+
+func attack(sys *core.System, label string) {
+	fmt.Printf("--- %s ---\n", label)
+	v, err := newVictim(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The program keeps a stale second pointer to the object (the bug).
+	dangling := v.obj
+	sys.AddRoot(&dangling)
+
+	// delete: the object is freed...
+	if err := sys.Free(v.obj); err != nil {
+		log.Fatal(err)
+	}
+	// ...and under CHERIvoke a revocation cycle runs before the
+	// allocator may reuse the address space.
+	if _, err := sys.Revoke(); err != nil && !errors.Is(err, core.ErrInvalidFree) {
+		log.Fatal(err)
+	}
+
+	// The attacker sprays allocations until one lands on the old object,
+	// filling it with a fake vtable pointer whose entry is evilEntry.
+	landed := false
+	for i := 0; i < 64 && !landed; i++ {
+		buf, err := sys.Malloc(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if buf.Base() == dangling.Base() {
+			landed = true
+		}
+		// "Network input": a fake vtable. Word 0 (where the victim's
+		// vtable pointer lived) becomes a pointer to offset +16,
+		// where the attacker plants the evil destructor entry.
+		if err := sys.Mem().StoreWord(buf, buf.Base()+16, evilEntry); err != nil {
+			log.Fatal(err)
+		}
+		fake, err := buf.SetBounds(buf.Base()+16, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Mem().StoreCap(buf, buf.Base(), fake); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !landed {
+		fmt.Println("attacker could not reallocate over the victim (quarantine still holds it)")
+		return
+	}
+	fmt.Println("attacker reallocated over the victim object")
+
+	// Double delete through the dangling pointer: the program loads the
+	// "vtable" and jumps through it.
+	entry, err := destructorEntry(sys, dangling)
+	switch {
+	case err == nil && entry == evilEntry:
+		fmt.Printf("ATTACK SUCCEEDED: control flow redirected to %#x\n", entry)
+	case err == nil:
+		fmt.Printf("attack failed silently: entry %#x\n", entry)
+	case errors.Is(err, cap.ErrTagCleared):
+		fmt.Println("ATTACK DEFEATED: dangling pointer was revoked; the double delete traps")
+	default:
+		fmt.Printf("attack stopped: %v\n", err)
+	}
+	fmt.Println()
+}
+
+func main() {
+	insecure, err := core.New(core.Config{DirectFree: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attack(insecure, "classic allocator (DirectFree: no quarantine, no revocation)")
+
+	secure, err := core.New(core.Config{
+		Policy: quarantine.Policy{Fraction: 0.25, MinBytes: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attack(secure, "CHERIvoke (quarantine + shadow map + sweeping revocation)")
+}

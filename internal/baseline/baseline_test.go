@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func geomeanRuntime(s Scheme, profiles []workload.Profile) float64 {
+	logSum := 0.0
+	for _, p := range profiles {
+		logSum += math.Log(s.Evaluate(p).Runtime)
+	}
+	return math.Exp(logSum / float64(len(profiles)))
+}
+
+func TestSchemesWellFormed(t *testing.T) {
+	schemes := All()
+	if len(schemes) != 4 {
+		t.Fatalf("got %d schemes, want 4 (Figure 5 legend)", len(schemes))
+	}
+	names := map[string]bool{}
+	for _, s := range schemes {
+		names[s.Name()] = true
+		for _, p := range workload.All() {
+			o := s.Evaluate(p)
+			if o.Runtime < 1 {
+				t.Errorf("%s/%s: runtime %.3f < 1", s.Name(), p.Name, o.Runtime)
+			}
+			if o.Memory < 1 {
+				t.Errorf("%s/%s: memory %.3f < 1", s.Name(), p.Name, o.Memory)
+			}
+			if math.IsNaN(o.Runtime) || math.IsInf(o.Runtime, 0) {
+				t.Errorf("%s/%s: runtime %v", s.Name(), p.Name, o.Runtime)
+			}
+		}
+	}
+	for _, want := range []string{"Oscar", "pSweeper", "DangSan", "Boehm-GC"} {
+		if !names[want] {
+			t.Errorf("missing scheme %s", want)
+		}
+	}
+}
+
+func TestNonAllocatingBenchmarksAreFree(t *testing.T) {
+	// bzip2 frees nothing; every scheme should be near-free on it.
+	p, _ := workload.ByName("bzip2")
+	for _, s := range All() {
+		if o := s.Evaluate(p); o.Runtime > 1.02 {
+			t.Errorf("%s on bzip2: runtime %.3f, want ~1", s.Name(), o.Runtime)
+		}
+	}
+}
+
+func TestDangSanBlowsUpOnPointerIntensive(t *testing.T) {
+	// DangSan's worst cases in Figure 5a are the pointer-write-heavy
+	// benchmarks (omnetpp's bar is cut off at 31.6×; its memory at
+	// 226.5×).
+	omnetpp, _ := workload.ByName("omnetpp")
+	hmmer, _ := workload.ByName("hmmer")
+	d := NewDangSan()
+	if o := d.Evaluate(omnetpp); o.Runtime < 2 {
+		t.Errorf("DangSan on omnetpp: runtime %.2f, want >> 1", o.Runtime)
+	}
+	if od, oh := d.Evaluate(omnetpp), d.Evaluate(hmmer); od.Runtime <= oh.Runtime {
+		t.Errorf("DangSan must cost more on omnetpp (%.2f) than hmmer (%.2f)", od.Runtime, oh.Runtime)
+	}
+	if o := d.Evaluate(omnetpp); o.Memory < 5 {
+		t.Errorf("DangSan omnetpp memory %.1f×, want blow-up", o.Memory)
+	}
+}
+
+func TestOscarPunishesSmallAllocations(t *testing.T) {
+	// §7.2: "frequent small allocations can cause performance and memory
+	// overheads to increase enormously."
+	omnetpp, _ := workload.ByName("omnetpp") // ~1M frees/s
+	milc, _ := workload.ByName("milc")       // huge, rare frees
+	o := NewOscar()
+	oo, om := o.Evaluate(omnetpp), o.Evaluate(milc)
+	if oo.Runtime < 1.5 {
+		t.Errorf("Oscar on omnetpp: %.2f, want substantial", oo.Runtime)
+	}
+	if om.Runtime > 1.1 {
+		t.Errorf("Oscar on milc: %.2f, want near 1", om.Runtime)
+	}
+}
+
+func TestBoehmCostTracksAllocationRate(t *testing.T) {
+	b := NewBoehmGC()
+	soplex, _ := workload.ByName("soplex") // 287 MiB/s
+	gobmk, _ := workload.ByName("gobmk")   // 1 MiB/s
+	if bs, bg := b.Evaluate(soplex), b.Evaluate(gobmk); bs.Runtime <= bg.Runtime {
+		t.Errorf("Boehm must cost more on soplex (%.2f) than gobmk (%.2f)", bs.Runtime, bg.Runtime)
+	}
+	// GC retains floating garbage on allocation-heavy workloads.
+	if o := b.Evaluate(soplex); o.Memory < 1.5 {
+		t.Errorf("Boehm memory on soplex = %.2f, want floating-garbage overhead", o.Memory)
+	}
+}
+
+func TestPSweeperCheaperThanDangSan(t *testing.T) {
+	// pSweeper's concurrent design undercuts DangSan's inline registry
+	// on the same pointer traffic (its paper's headline claim).
+	ps, ds := NewPSweeper(), NewDangSan()
+	for _, name := range []string{"omnetpp", "xalancbmk", "dealII"} {
+		p, _ := workload.ByName(name)
+		if o1, o2 := ps.Evaluate(p), ds.Evaluate(p); o1.Runtime >= o2.Runtime {
+			t.Errorf("%s: pSweeper %.2f >= DangSan %.2f", name, o1.Runtime, o2.Runtime)
+		}
+	}
+}
+
+func TestGeomeansRoughlyMatchReported(t *testing.T) {
+	// Anchors from the respective papers on SPEC: DangSan ~1.4, Oscar
+	// ~1.4, pSweeper ~1.15, Boehm mid-range with huge variance. Allow
+	// generous bands — these are cost models, not measurements.
+	spec := workload.SPEC()
+	bands := map[string][2]float64{
+		"DangSan":  {1.15, 2.2},
+		"Oscar":    {1.1, 2.0},
+		"pSweeper": {1.03, 1.6},
+		"Boehm-GC": {1.05, 2.2},
+	}
+	for _, s := range All() {
+		g := geomeanRuntime(s, spec)
+		b := bands[s.Name()]
+		if g < b[0] || g > b[1] {
+			t.Errorf("%s geomean %.3f outside [%.2f, %.2f]", s.Name(), g, b[0], b[1])
+		}
+	}
+}

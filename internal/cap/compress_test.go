@@ -1,0 +1,181 @@
+package cap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// addrSpaceTop bounds generated addresses to the simulated address space.
+const addrSpaceTop = uint64(1) << 48
+
+func TestEncodeBoundsSmallExact(t *testing.T) {
+	cases := []struct{ base, top uint64 }{
+		{0, 0},
+		{0, 16},
+		{0x1000, 0x1010},
+		{0x1000, 0x1000 + maxWindow},
+		{0xFFF0, 0x10000},
+		{1, 2}, // unaligned but tiny: exact at E=0
+		{addrSpaceTop - 16, addrSpaceTop},
+	}
+	for _, c := range cases {
+		enc, exact := encodeBounds(c.base, c.top)
+		if !exact {
+			t.Errorf("encodeBounds(%#x, %#x): want exact", c.base, c.top)
+		}
+		b, tp := decodeBounds(enc, c.base)
+		if b != c.base || tp != c.top {
+			t.Errorf("decodeBounds(%v, %#x) = [%#x, %#x), want [%#x, %#x)",
+				enc, c.base, b, tp, c.base, c.top)
+		}
+	}
+}
+
+func TestEncodeBoundsInexactRounds(t *testing.T) {
+	// A large unaligned region cannot be exact; rounding must produce a
+	// superset.
+	base := uint64(0x100008)
+	top := base + (1 << 25) + 24
+	enc, exact := encodeBounds(base, top)
+	if exact {
+		t.Fatalf("encodeBounds(%#x, %#x): expected inexact", base, top)
+	}
+	b, tp := decodeBounds(enc, base)
+	if b > base || tp < top {
+		t.Errorf("rounded bounds [%#x, %#x) do not cover requested [%#x, %#x)", b, tp, base, top)
+	}
+	if e := enc.exponent(); b&((1<<e)-1) != 0 || tp&((1<<e)-1) != 0 {
+		t.Errorf("rounded bounds [%#x, %#x) not aligned to 1<<%d", b, tp, e)
+	}
+}
+
+func TestDecodeRoundTripAtEveryInteriorGranule(t *testing.T) {
+	// Bounds must decode identically from any address within them.
+	base := uint64(0x40000000)
+	top := base + (uint64(maxWindow) << 9) // forces E=9
+	enc, exact := encodeBounds(base, top)
+	if !exact {
+		t.Fatalf("expected exact encoding")
+	}
+	step := (top - base) / 997
+	for a := base; a < top; a += step {
+		b, tp := decodeBounds(enc, a)
+		if b != base || tp != top {
+			t.Fatalf("decodeBounds at addr %#x = [%#x, %#x), want [%#x, %#x)", a, b, tp, base, top)
+		}
+	}
+	// The exclusive top itself must also be representable (one-past-end
+	// pointers are legal C).
+	if b, tp := decodeBounds(enc, top); b != base || tp != top {
+		t.Errorf("decodeBounds at top %#x = [%#x, %#x), want [%#x, %#x)", top, b, tp, base, top)
+	}
+}
+
+func TestRepresentableRegionHasSlack(t *testing.T) {
+	// CHERI-Concentrate guarantees some out-of-bounds slack around the
+	// object. With our maxWindow = 2^(MW-1) the slack is at least
+	// 2^(MW-2)-ish granules; verify a modest amount both sides.
+	base := uint64(0x200000)
+	top := base + (uint64(maxWindow) << 4) // E=4
+	enc, _ := encodeBounds(base, top)
+	slack := uint64(1) << (4 + MantissaWidth - 3)
+	if !representable(enc, base, top, base-slack/2) {
+		t.Errorf("address %#x below base should still be representable", base-slack/2)
+	}
+	if !representable(enc, base, top, top+slack/2) {
+		t.Errorf("address %#x above top should still be representable", top+slack/2)
+	}
+	// Far away must not be representable.
+	if representable(enc, base, top, base+(1<<40)) {
+		t.Errorf("address far out of region must not be representable")
+	}
+}
+
+func TestRepresentableAlignmentMask(t *testing.T) {
+	cases := []struct {
+		length uint64
+		mask   uint64
+	}{
+		{1, ^uint64(0)},
+		{16, ^uint64(0)},
+		{maxWindow, ^uint64(0)},
+		{maxWindow + 1, ^uint64(1)},
+		{1 << 25, ^uint64((1 << 6) - 1)},
+	}
+	for _, c := range cases {
+		if got := RepresentableAlignmentMask(c.length); got != c.mask {
+			t.Errorf("RepresentableAlignmentMask(%#x) = %#x, want %#x", c.length, got, c.mask)
+		}
+	}
+}
+
+func TestRepresentableLengthRoundsUp(t *testing.T) {
+	if got := RepresentableLength(100); got != 100 {
+		t.Errorf("RepresentableLength(100) = %d, want 100", got)
+	}
+	l := uint64(1<<25) + 5
+	got := RepresentableLength(l)
+	if got < l {
+		t.Fatalf("RepresentableLength(%d) = %d shrank", l, got)
+	}
+	mask := RepresentableAlignmentMask(got)
+	if got&^mask != 0 {
+		t.Errorf("RepresentableLength(%d) = %#x not aligned to its own granule %#x", l, got, ^mask+1)
+	}
+}
+
+// quickRegion produces a random region with representable-friendly geometry.
+func quickRegion(r *rand.Rand) (base, top uint64) {
+	length := uint64(1) + uint64(r.Int63n(1<<30))
+	length = RepresentableLength(length)
+	mask := RepresentableAlignmentMask(length)
+	base = uint64(r.Int63n(int64(addrSpaceTop-length))) & mask
+	return base, base + length
+}
+
+func TestQuickAlignedBoundsAreExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base, top := quickRegion(r)
+		enc, exact := encodeBounds(base, top)
+		if !exact {
+			t.Logf("aligned region [%#x, %#x) not exact", base, top)
+			return false
+		}
+		b, tp := decodeBounds(enc, base)
+		return b == base && tp == top
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeAnyInteriorAddress(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base, top := quickRegion(r)
+		enc, _ := encodeBounds(base, top)
+		a := base + uint64(r.Int63n(int64(top-base)))
+		b, tp := decodeBounds(enc, a)
+		return b == base && tp == top
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInexactEncodingIsSuperset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := uint64(r.Int63n(1 << 47))
+		length := uint64(1) + uint64(r.Int63n(1<<40))
+		top := base + length
+		enc, _ := encodeBounds(base, top)
+		b, tp := decodeBounds(enc, base)
+		return b <= base && tp >= top
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package cap
+
+import "fmt"
+
+// Additional CHERI ISA derivation operations beyond the core set. These are
+// the instructions software like CheriBSD's rtld and memcpy implementations
+// use to move capabilities through untagged channels safely; the CHERIvoke
+// threat model depends on all of them preserving monotonicity.
+
+// Subset implements CTestSubset: it reports whether c's authority is a
+// subset of auth's — bounds nested, permissions included. Untagged or
+// sealed values are never subsets.
+func (c Capability) Subset(auth Capability) bool {
+	if !c.tag || !auth.tag || c.Sealed() || auth.Sealed() {
+		return false
+	}
+	if c.base < auth.base || c.top > auth.top {
+		return false
+	}
+	return auth.perms.Has(c.perms)
+}
+
+// Build implements CBuildCap: it re-derives a valid capability from an
+// untagged capability image, authorised by auth. The image's bounds and
+// permissions must be a subset of auth's authority; the result carries the
+// image's address, bounds and permissions with the tag restored.
+//
+// This is how capability images that crossed an untagged channel (disk,
+// network, a non-capability copy) are safely revalidated: the authority
+// proves the rights were already held, so monotonicity is preserved. Note
+// the interaction with revocation: rebuilding requires a live authority
+// capability — a revoked capability's image cannot be resurrected without
+// an authority that could reach the memory anyway.
+func Build(auth Capability, lo, hi uint64) (Capability, error) {
+	img := Decode(lo, hi, false)
+	if !auth.tag {
+		return Null, fmt.Errorf("cap: Build: %w", ErrTagCleared)
+	}
+	if auth.Sealed() {
+		return Null, fmt.Errorf("cap: Build: %w", ErrSealed)
+	}
+	if img.Sealed() {
+		return Null, fmt.Errorf("cap: Build: sealed image: %w", ErrSealed)
+	}
+	if img.base < auth.base || img.top > auth.top || img.top < img.base {
+		return Null, fmt.Errorf("cap: Build: image bounds [%#x,%#x) exceed authority [%#x,%#x): %w",
+			img.base, img.top, auth.base, auth.top, ErrMonotonicity)
+	}
+	if !auth.perms.Has(img.perms) {
+		return Null, fmt.Errorf("cap: Build: image perms %v exceed authority %v: %w",
+			img.perms, auth.perms, ErrMonotonicity)
+	}
+	// Verify the image decodes consistently (a corrupt bounds field that
+	// does not round-trip must not produce a tagged value).
+	if !representable(img.enc, img.base, img.top, img.addr) {
+		return Null, fmt.Errorf("cap: Build: unrepresentable image: %w", ErrNotRepresentable)
+	}
+	img.tag = true
+	return img, nil
+}
+
+// ExactEqual implements CCmp-style exact comparison: every architectural
+// field including the tag.
+func (c Capability) ExactEqual(d Capability) bool { return c == d }

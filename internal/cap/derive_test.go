@@ -1,0 +1,119 @@
+package cap
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSubset(t *testing.T) {
+	root := MustRoot(0, 1<<48)
+	obj, _ := root.SetBounds(0x10000, 256)
+	inner, _ := obj.SetBounds(0x10040, 64)
+	ro := inner.ClearPerms(PermStore | PermStoreCap)
+
+	cases := []struct {
+		name string
+		c, a Capability
+		want bool
+	}{
+		{"inner of obj", inner, obj, true},
+		{"obj of root", obj, root, true},
+		{"obj not of inner", obj, inner, false},
+		{"ro of inner", ro, inner, true},
+		{"inner not of ro (perms)", inner, ro, false},
+		{"self", obj, obj, true},
+		{"untagged never", obj.ClearTag(), root, false},
+		{"of untagged never", obj, root.ClearTag(), false},
+	}
+	for _, c := range cases {
+		if got := c.c.Subset(c.a); got != c.want {
+			t.Errorf("%s: Subset = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBuildRederivesFromImage(t *testing.T) {
+	root := MustRoot(0, 1<<48)
+	obj, _ := root.SetBounds(0x10000, 256)
+	obj = obj.SetAddr(0x10010).ClearPerms(PermExecute)
+	lo, hi := obj.Encode()
+
+	// The untagged image (e.g. after a data copy) can be revalidated by
+	// an authority that spans it.
+	got, err := Build(root, lo, hi)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !got.Tag() || got != obj {
+		t.Errorf("Build:\n got %v\nwant %v", got, obj)
+	}
+}
+
+func TestBuildEnforcesMonotonicity(t *testing.T) {
+	root := MustRoot(0, 1<<48)
+	narrow, _ := root.SetBounds(0x20000, 64)
+	obj, _ := root.SetBounds(0x10000, 256)
+	lo, hi := obj.Encode()
+
+	// Authority that does not span the image: refused.
+	if _, err := Build(narrow, lo, hi); !errors.Is(err, ErrMonotonicity) {
+		t.Errorf("out-of-bounds Build: got %v", err)
+	}
+	// Authority with fewer permissions: refused.
+	weak := root.ClearPerms(PermStore)
+	if _, err := Build(weak, lo, hi); !errors.Is(err, ErrMonotonicity) {
+		t.Errorf("under-privileged Build: got %v", err)
+	}
+	// Untagged authority: refused.
+	if _, err := Build(root.ClearTag(), lo, hi); !errors.Is(err, ErrTagCleared) {
+		t.Errorf("untagged authority: got %v", err)
+	}
+}
+
+func TestBuildCannotForgeArbitraryBits(t *testing.T) {
+	// An attacker-crafted metadata word still cannot mint authority
+	// beyond the authorising capability.
+	root := MustRoot(0, 1<<48)
+	small, _ := root.SetBounds(0x10000, 64)
+	// Image claiming the whole address space.
+	lo, hi := root.Encode()
+	if _, err := Build(small, lo, hi); !errors.Is(err, ErrMonotonicity) {
+		t.Errorf("forged wide image: got %v", err)
+	}
+}
+
+func TestBuildRevokedImageNeedsLiveAuthority(t *testing.T) {
+	// The revocation interaction: after a sweep clears a capability's
+	// tag, its image can only be rebuilt by a holder of an equally
+	// powerful LIVE capability — revocation cannot be bypassed by
+	// stashing bits.
+	root := MustRoot(0, 1<<48)
+	obj, _ := root.SetBounds(0x10000, 64)
+	lo, hi := obj.ClearTag().Encode()
+
+	// With only another revoked/narrow capability, rebuilding fails.
+	other, _ := root.SetBounds(0x20000, 64)
+	if _, err := Build(other, lo, hi); err == nil {
+		t.Error("rebuilt revoked image without spanning authority")
+	}
+	// The allocator's whole-heap capability could rebuild it — which is
+	// fine: the allocator is in the TCB (§3.6).
+	if _, err := Build(root, lo, hi); err != nil {
+		t.Errorf("TCB rebuild failed: %v", err)
+	}
+}
+
+func TestExactEqual(t *testing.T) {
+	root := MustRoot(0, 1<<48)
+	a, _ := root.SetBounds(0x1000, 64)
+	b := a
+	if !a.ExactEqual(b) {
+		t.Error("identical capabilities not equal")
+	}
+	if a.ExactEqual(a.ClearTag()) {
+		t.Error("tag ignored by ExactEqual")
+	}
+	if a.ExactEqual(a.Inc(8)) {
+		t.Error("address ignored by ExactEqual")
+	}
+}

@@ -1,0 +1,60 @@
+package cap
+
+// In-memory image of a capability (Figure 2 of the paper): 128 bits, stored
+// as two 64-bit words. The low word is the address; the high word packs the
+// protected metadata:
+//
+//	hi[45:0]   compressed bounds (E:6 | B:20 | T:20)
+//	hi[55:46]  permissions (10 defined bits; the paper's field is 15 wide)
+//	hi[62:56]  object type (7 bits, 0x7F = unsealed)
+//	hi[63]     reserved
+//
+// The validity tag is not part of the 128-bit image: it lives in the tagged
+// memory's out-of-band tag storage (internal/mem), exactly as in hardware,
+// which is what makes tags unforgeable by data writes.
+const (
+	boundsBits = 46
+	boundsMask = (uint64(1) << boundsBits) - 1
+	permsShift = boundsBits
+	permsBits  = 10
+	permsMask  = (uint64(1) << permsBits) - 1
+	otypeShift = permsShift + permsBits
+	otypeBits  = 7
+	otypeMask  = (uint64(1) << otypeBits) - 1
+)
+
+// Encode packs the capability into its two-word memory image. The validity
+// tag is returned by Tag and must be stored out of band.
+func (c Capability) Encode() (lo, hi uint64) {
+	lo = c.addr
+	hi = uint64(c.enc)&boundsMask |
+		(uint64(c.perms)&permsMask)<<permsShift |
+		(uint64(c.otype)&otypeMask)<<otypeShift
+	return lo, hi
+}
+
+// Decode reconstructs a capability from its two-word memory image and the
+// out-of-band tag bit. Decoding an untagged image yields plain data wrapped
+// in an unusable (untagged) capability value.
+func Decode(lo, hi uint64, tag bool) Capability {
+	enc := boundsEncoding(hi & boundsMask)
+	base, top := decodeBounds(enc, lo)
+	return Capability{
+		addr:  lo,
+		base:  base,
+		top:   top,
+		enc:   enc,
+		perms: Perm(hi >> permsShift & permsMask),
+		otype: uint32(hi >> otypeShift & otypeMask),
+		tag:   tag,
+	}
+}
+
+// DecodeBase returns only the base of the capability image — the single
+// field the CHERIvoke sweeping loop needs for its shadow-map lookup (§3.3 of
+// the paper: "the sweeping procedure performs a lookup in the shadow map
+// using the base of each capability").
+func DecodeBase(lo, hi uint64) uint64 {
+	base, _ := decodeBounds(boundsEncoding(hi&boundsMask), lo)
+	return base
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/revoke"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// AblationRow is one configuration of a sweep ablation.
+type AblationRow struct {
+	Name       string
+	SimMicros  float64 // simulated sweep time, µs
+	BytesRead  uint64  // data bytes the sweep fetched
+	TagProbes  uint64
+	PagesSwept uint64
+}
+
+// AblationAssists sweeps one workload's heap image under the four
+// hardware-assist combinations (§6.3): neither, PTE CapDirty only,
+// CLoadTags only, both. Timing uses the CHERI FPGA machine — the system the
+// paper measures its assists on (§5.3 explicitly does not model CLoadTags
+// on x86, where the deep cache hierarchy makes the probe cost comparable to
+// the line read it would save). Whether CLoadTags helps is also
+// density-dependent: on dense heaps the probes cost more than the skipped
+// lines save, the paper's "can even lower performance" case.
+func AblationAssists(opts Options, workloadName string) ([]AblationRow, error) {
+	machine := sim.CHERIFPGA()
+	cases := []struct {
+		name string
+		cfg  revoke.Config
+	}{
+		{"no assists", revoke.Config{}},
+		{"PTE CapDirty", revoke.Config{UseCapDirty: true}},
+		{"CLoadTags", revoke.Config{UseCLoadTags: true}},
+		{"both", revoke.Config{UseCapDirty: true, UseCLoadTags: true}},
+	}
+	var out []AblationRow
+	for _, c := range cases {
+		res, err := populatedRun(opts, core.Config{Revoke: c.cfg}, workloadName)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", c.name, err)
+		}
+		st, err := revoke.New(res.Sys.Mem(), res.Sys.Shadow(), c.cfg).Sweep(nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Name:       c.name,
+			SimMicros:  machine.SweepTime(c.cfg.Kernel.Costs(), st.Work(1)) * 1e6,
+			BytesRead:  st.BytesRead,
+			TagProbes:  st.TagProbes,
+			PagesSwept: st.PagesSwept,
+		})
+	}
+	return out, nil
+}
+
+// AblationParallel sweeps the same heap with 1–8 shards (§3.5).
+func AblationParallel(opts Options) ([]AblationRow, error) {
+	machine := sim.X86()
+	var out []AblationRow
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := revoke.Config{UseCapDirty: true, Shards: shards}
+		res, err := populatedRun(opts, core.Config{Revoke: cfg}, "omnetpp")
+		if err != nil {
+			return nil, err
+		}
+		st, err := revoke.New(res.Sys.Mem(), res.Sys.Shadow(), cfg).Sweep(nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Name:       fmt.Sprintf("%d shard(s)", shards),
+			SimMicros:  machine.SweepTime(cfg.Kernel.Costs(), st.Work(shards)) * 1e6,
+			BytesRead:  st.BytesRead,
+			PagesSwept: st.PagesSwept,
+		})
+	}
+	return out, nil
+}
+
+func populatedRun(opts Options, cfg core.Config, name string) (workload.Result, error) {
+	cfg.Policy = policy(opts)
+	sys, err := core.New(cfg)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	p, ok := workload.ByName(name)
+	if !ok {
+		return workload.Result{}, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	return workload.Run(sys, p, workload.Options{
+		Seed:         opts.Seed,
+		MaxLiveBytes: opts.MaxLiveBytes,
+		MinSweeps:    1,
+	})
+}
+
+// ExtensionRow compares one deployment variant end to end.
+type ExtensionRow struct {
+	Name        string
+	Runtime     float64 // normalised execution time
+	Sweeps      uint64
+	UnmappedMiB float64
+	HeapMiB     float64
+	Safety      string
+}
+
+// Extensions evaluates the paper's §8 extension directions on the
+// worst-case workload (xalancbmk): stop-the-world CHERIvoke, concurrent
+// sweeping (§3.5), page-granularity unmapping for large frees (Oscar-style),
+// Cling-style typed reuse alone, and the insecure baseline.
+func Extensions(opts Options) ([]ExtensionRow, error) {
+	p, _ := workload.ByName("xalancbmk")
+	variants := []struct {
+		name   string
+		cfg    core.Config
+		safety string
+	}{
+		{"CHERIvoke (stop-the-world)", core.Config{Revoke: paperRevokeConfig()},
+			"full heap temporal safety"},
+		{"CHERIvoke + concurrent sweep", core.Config{Revoke: paperRevokeConfig(), ConcurrentSweep: true},
+			"full heap temporal safety"},
+		{"CHERIvoke + unmap large frees", core.Config{Revoke: paperRevokeConfig(), UnmapLarge: true},
+			"full heap temporal safety"},
+		{"Cling-style typed reuse only", core.Config{DirectFree: true, Alloc: alloc.Options{TypedReuse: true}},
+			"partial: same-class confusion remains"},
+		{"insecure direct free", core.Config{DirectFree: true},
+			"none"},
+	}
+	var out []ExtensionRow
+	var events int
+	for _, v := range variants {
+		v.cfg.Policy = policy(opts)
+		v.cfg.Machine = scaledMachine(p, opts)
+		sys, err := core.New(v.cfg)
+		if err != nil {
+			return nil, err
+		}
+		wopts := workload.Options{
+			Seed:         opts.Seed,
+			MaxLiveBytes: opts.MaxLiveBytes,
+			MinSweeps:    opts.MinSweeps,
+		}
+		if v.cfg.DirectFree {
+			wopts.MaxEvents = events // match the CHERIvoke run's volume
+		}
+		res, err := workload.Run(sys, p, wopts)
+		if err != nil {
+			return nil, fmt.Errorf("extension %s: %w", v.name, err)
+		}
+		if events == 0 {
+			events = int(res.Frees)
+		}
+		d := decompose(res)
+		out = append(out, ExtensionRow{
+			Name:        v.name,
+			Runtime:     d.PlusSweep,
+			Sweeps:      res.Sys.Stats().Sweeps,
+			UnmappedMiB: float64(res.Sys.Stats().UnmappedBytes) / (1 << 20),
+			HeapMiB:     float64(res.Sys.HeapBytes()) / (1 << 20),
+			Safety:      v.safety,
+		})
+	}
+	return out, nil
+}
+
+// InvariancePoint is one heap scale of the scale-invariance check.
+type InvariancePoint struct {
+	LiveMiB float64
+	Runtime float64 // normalised execution time
+}
+
+// ScaleInvariance validates the reproduction's central scaling argument
+// (§6.1.3): CHERIvoke's relative overhead is invariant under live-heap
+// scaling, because sweeps shrink and speed up together. It runs xalancbmk
+// at four simulated heap sizes.
+func ScaleInvariance(opts Options) ([]InvariancePoint, error) {
+	p, _ := workload.ByName("xalancbmk")
+	var out []InvariancePoint
+	for _, live := range []uint64{2 << 20, 4 << 20, 8 << 20, 16 << 20} {
+		o := opts
+		o.MaxLiveBytes = live
+		d, err := Decompose(p, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, InvariancePoint{LiveMiB: float64(live) / (1 << 20), Runtime: d.PlusSweep})
+	}
+	return out, nil
+}

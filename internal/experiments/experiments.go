@@ -1,0 +1,210 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5–§6). Each experiment has one constructor returning the rows
+// or series the paper reports; cmd/cherivoke prints them and bench_test.go
+// wraps them in testing.B benchmarks.
+//
+// All experiments are deterministic: seeded workload generation, simulated
+// timing, no wall clocks.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options tunes experiment scale. The defaults match the figures; tests use
+// Quick() to run in seconds.
+type Options struct {
+	Seed         uint64
+	MaxLiveBytes uint64 // simulated live-heap cap per workload
+	MinSweeps    int    // sweeps per workload run
+	Fraction     float64
+}
+
+// Default returns the full-scale options (25% quarantine, the paper's
+// default configuration).
+func Default() Options {
+	return Options{Seed: 0xC0FFEE, MaxLiveBytes: 24 << 20, MinSweeps: 4, Fraction: 0.25}
+}
+
+// Quick returns reduced-scale options for tests.
+func Quick() Options {
+	return Options{Seed: 0xC0FFEE, MaxLiveBytes: 4 << 20, MinSweeps: 2, Fraction: 0.25}
+}
+
+// paperRevokeConfig is the sweep configuration the paper's x86 evaluation
+// models (§5.3): PTE CapDirty page elimination, AVX2 kernel, no CLoadTags
+// ("our performance numbers are a pessimistic estimation").
+func paperRevokeConfig() revoke.Config {
+	return revoke.Config{
+		Kernel:      sim.KernelVector,
+		UseCapDirty: true,
+		Launder:     true,
+	}
+}
+
+func policy(opts Options) quarantine.Policy {
+	return quarantine.Policy{Fraction: opts.Fraction, MinBytes: 64 << 10}
+}
+
+// runCheriVoke replays profile p against a paper-default CHERIvoke system.
+func runCheriVoke(p workload.Profile, opts Options) (workload.Result, error) {
+	sys, err := core.New(core.Config{
+		Policy:  policy(opts),
+		Revoke:  paperRevokeConfig(),
+		Machine: scaledMachine(p, opts),
+	})
+	if err != nil {
+		return workload.Result{}, err
+	}
+	return workload.Run(sys, p, workload.Options{
+		Seed:         opts.Seed,
+		MaxLiveBytes: opts.MaxLiveBytes,
+		MinSweeps:    opts.MinSweeps,
+	})
+}
+
+// scaledMachine returns the x86 machine with its fixed per-sweep startup
+// shrunk by the workload's heap scale factor: the scaled-down simulation
+// sweeps 1/scale more often than the reference system, so leaving the
+// startup cost fixed would overcharge it (most visibly for ffmpeg, whose
+// 300 MiB reference heap shrinks furthest).
+func scaledMachine(p workload.Profile, opts Options) sim.Machine {
+	m := sim.X86()
+	m.SweepStartup *= workload.Scale(p, workload.Options{
+		Seed:         opts.Seed,
+		MaxLiveBytes: opts.MaxLiveBytes,
+		MinSweeps:    opts.MinSweeps,
+	})
+	return m
+}
+
+// runDirect replays p against the insecure direct-free baseline for
+// normalisation, bounded to the same event volume as a prior CHERIvoke run
+// (sweeps never fire in direct mode, so MinSweeps cannot terminate it).
+func runDirect(p workload.Profile, opts Options, events int) (workload.Result, error) {
+	sys, err := core.New(core.Config{DirectFree: true})
+	if err != nil {
+		return workload.Result{}, err
+	}
+	if events == 0 {
+		events = 1
+	}
+	return workload.Run(sys, p, workload.Options{
+		Seed:         opts.Seed,
+		MaxLiveBytes: opts.MaxLiveBytes,
+		MinSweeps:    1, // never reached in direct mode
+		MaxEvents:    events,
+	})
+}
+
+// Decomposition is one workload's normalised execution time, accumulated in
+// Figure 6's order: quarantine only, + shadow map, + sweeping.
+type Decomposition struct {
+	Name           string
+	QuarantineOnly float64
+	PlusShadow     float64
+	PlusSweep      float64
+}
+
+// Decompose computes the Figure 6 bars for one profile.
+func Decompose(p workload.Profile, opts Options) (Decomposition, error) {
+	res, err := runCheriVoke(p, opts)
+	if err != nil {
+		return Decomposition{}, err
+	}
+	return decompose(res), nil
+}
+
+func decompose(res workload.Result) Decomposition {
+	st := res.Sys.Stats()
+	t := res.AppSeconds
+	quarDelta := (st.QuarantineSeconds - st.BaselineFreeCost + res.CacheEffectSeconds) / t
+	shadowDelta := st.ShadowSeconds / t
+	sweepDelta := st.SweepSeconds / t
+	return Decomposition{
+		Name:           res.Profile.Name,
+		QuarantineOnly: 1 + quarDelta,
+		PlusShadow:     1 + quarDelta + shadowDelta,
+		PlusSweep:      1 + quarDelta + shadowDelta + sweepDelta,
+	}
+}
+
+// Fig6 regenerates Figure 6: the overhead decomposition for ffmpeg plus the
+// SPEC subset at the default 25% heap overhead.
+func Fig6(opts Options) ([]Decomposition, error) {
+	var out []Decomposition
+	for _, p := range workload.All() {
+		d, err := Decompose(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", p.Name, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Fig5Row is one benchmark of Figure 5: CHERIvoke's measured overheads next
+// to the four baseline schemes' modelled ones.
+type Fig5Row struct {
+	Name      string
+	CheriVoke baseline.Overheads
+	Schemes   map[string]baseline.Overheads
+}
+
+// Fig5 regenerates Figure 5 over the SPEC subset: normalised execution time
+// (5a) and memory utilisation (5b) for CHERIvoke (measured on the simulated
+// system) and Oscar/pSweeper/DangSan/Boehm-GC (cost models).
+func Fig5(opts Options) ([]Fig5Row, error) {
+	var out []Fig5Row
+	for _, p := range workload.SPEC() {
+		cvRes, err := runCheriVoke(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
+		}
+		d := decompose(cvRes)
+		dirRes, err := runDirect(p, opts, int(cvRes.Frees))
+		if err != nil {
+			return nil, err
+		}
+		memOver := 1.0
+		if dirRes.PeakFootprint > 0 && cvRes.PeakFootprint > 0 {
+			memOver = float64(cvRes.PeakFootprint) / float64(dirRes.PeakFootprint)
+			if memOver < 1 {
+				memOver = 1
+			}
+		}
+		row := Fig5Row{
+			Name:      p.Name,
+			CheriVoke: baseline.Overheads{Runtime: d.PlusSweep, Memory: memOver},
+			Schemes:   map[string]baseline.Overheads{},
+		}
+		for _, s := range baseline.All() {
+			row.Schemes[s.Name()] = s.Evaluate(p)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Geomean returns the geometric mean of vals.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}

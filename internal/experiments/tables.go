@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table1Row describes one evaluation system (Table 1).
+type Table1Row struct {
+	System string
+	Spec   string
+}
+
+// Table1 regenerates Table 1 from the machine models.
+func Table1() []Table1Row {
+	x, c := sim.X86(), sim.CHERIFPGA()
+	return []Table1Row{
+		{
+			System: "x86-64",
+			Spec: fmt.Sprintf("%s, %.1fGHz, %d cores %d threads, %dMiB LLC, "+
+				"AVX2-class vector model, %.0f MiB/s read bandwidth, FreeBSD-like runtime",
+				x.Name, x.FreqHz/1e9, x.Cores, x.Threads, x.LLC>>20, x.DRAMReadBW/sim.MiB),
+		},
+		{
+			System: "CHERI",
+			Spec: fmt.Sprintf("%s, %.0fMHz, single core, %dKiB LLC, "+
+				"in-order scalar model, %.0f MiB/s read bandwidth",
+				c.Name, c.FreqHz/1e6, c.LLC>>10, c.DRAMReadBW/sim.MiB),
+		},
+	}
+}
+
+// Table2Row is one benchmark's deallocation metadata: the paper's value next
+// to the value measured on the generated workload.
+type Table2Row struct {
+	Name string
+
+	PaperPageDensity    float64
+	MeasuredPageDensity float64
+
+	PaperFreeRateMiB    float64
+	MeasuredFreeRateMiB float64
+
+	PaperFreesPerSec    float64
+	MeasuredFreesPerSec float64
+}
+
+// Table2 regenerates Table 2: each profile is replayed on the CHERIvoke
+// system and its deallocation metadata measured from the run.
+func Table2(opts Options) ([]Table2Row, error) {
+	var out []Table2Row
+	for _, p := range workload.All() {
+		res, err := runCheriVoke(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", p.Name, err)
+		}
+		out = append(out, Table2Row{
+			Name:                p.Name,
+			PaperPageDensity:    p.PageDensity,
+			MeasuredPageDensity: res.MeasuredPageDensity,
+			PaperFreeRateMiB:    p.FreeRateMiB,
+			MeasuredFreeRateMiB: res.MeasuredFreeRateMiB,
+			PaperFreesPerSec:    p.FreesPerSec,
+			MeasuredFreesPerSec: res.MeasuredFreesPerSec,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package mem
+
+// Set-associative LRU cache model used to account DRAM traffic for the
+// revocation sweep (Figure 10) and to model the tag cache that CLoadTags
+// probes terminate in (§2.2, §3.4.1). The model tracks hits, misses and
+// write-backs; it stores no data — correctness always comes from Memory,
+// timing and traffic from this overlay.
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name     string
+	Size     uint64 // total capacity in bytes
+	LineSize uint64 // line size in bytes
+	Ways     int    // associativity
+}
+
+// CacheStats counts the events at one cache level.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	WriteBacks uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a single set-associative, write-back, write-allocate LRU cache.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheLine
+	clock uint64
+	stats CacheStats
+}
+
+// NewCache returns a cache with the given geometry. Size must be a multiple
+// of LineSize*Ways.
+func NewCache(cfg CacheConfig) *Cache {
+	nSets := int(cfg.Size / cfg.LineSize / uint64(cfg.Ways))
+	if nSets < 1 {
+		nSets = 1
+	}
+	sets := make([][]cacheLine, nSets)
+	for i := range sets {
+		sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Reset invalidates all lines and zeroes counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = cacheLine{}
+		}
+	}
+	c.clock = 0
+	c.stats = CacheStats{}
+}
+
+// Access touches the line containing addr, allocating it on miss. It returns
+// (hit, writeBack): writeBack is true when the allocation evicted a dirty
+// line.
+func (c *Cache) Access(addr uint64, write bool) (hit, writeBack bool) {
+	c.clock++
+	lineAddr := addr / c.cfg.LineSize
+	set := c.sets[lineAddr%uint64(len(c.sets))]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == lineAddr {
+			l.lru = c.clock
+			if write {
+				l.dirty = true
+			}
+			c.stats.Hits++
+			return true, false
+		}
+	}
+	// Prefer an invalid way, else the least-recently-used one.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	writeBack = set[victim].valid && set[victim].dirty
+	if writeBack {
+		c.stats.WriteBacks++
+	}
+	set[victim] = cacheLine{tag: lineAddr, valid: true, dirty: write, lru: c.clock}
+	return false, writeBack
+}
+
+// HierarchyStats aggregates traffic through a cache hierarchy.
+type HierarchyStats struct {
+	DRAMReadBytes  uint64 // line fills from DRAM
+	DRAMWriteBytes uint64 // dirty write-backs to DRAM
+	OffCoreBytes   uint64 // traffic beyond L2 (shared-LLC traffic, Figure 10)
+	TagDRAMReads   uint64 // tag-table line fills
+}
+
+// Hierarchy is the three-level data-cache hierarchy of Table 1's x86 system
+// plus the CHERI tag cache. Accesses walk L1→L2→LLC; misses at the LLC fill
+// from DRAM.
+type Hierarchy struct {
+	L1, L2, LLC *Cache
+	// TagCache caches the hierarchical tag table. One tag-table line
+	// covers TagLineCoverage bytes of data memory.
+	TagCache *Cache
+	stats    HierarchyStats
+}
+
+// TagLineCoverage is the span of data memory covered by one tag-cache line:
+// with one tag bit per 16-byte granule, a 64-byte tag line covers 64*8*16 =
+// 8 KiB of data.
+const TagLineCoverage = LineSize * 8 * GranuleSize
+
+// NewX86Hierarchy returns the cache hierarchy of the paper's x86-64 system
+// (Table 1: 8 MiB LLC), with conventional L1/L2 sizes for that part and a
+// 32 KiB tag cache as in the CHERI prototypes (§2.2).
+func NewX86Hierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1:       NewCache(CacheConfig{Name: "L1D", Size: 32 << 10, LineSize: LineSize, Ways: 8}),
+		L2:       NewCache(CacheConfig{Name: "L2", Size: 256 << 10, LineSize: LineSize, Ways: 8}),
+		LLC:      NewCache(CacheConfig{Name: "LLC", Size: 8 << 20, LineSize: LineSize, Ways: 16}),
+		TagCache: NewCache(CacheConfig{Name: "Tag$", Size: 32 << 10, LineSize: LineSize, Ways: 4}),
+	}
+}
+
+// NewCHERIHierarchy returns the FPGA prototype's hierarchy (Table 1: 256 KiB
+// LLC, single level below L1).
+func NewCHERIHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1:       NewCache(CacheConfig{Name: "L1D", Size: 16 << 10, LineSize: LineSize, Ways: 2}),
+		L2:       NewCache(CacheConfig{Name: "L2", Size: 64 << 10, LineSize: LineSize, Ways: 4}),
+		LLC:      NewCache(CacheConfig{Name: "LLC", Size: 256 << 10, LineSize: LineSize, Ways: 8}),
+		TagCache: NewCache(CacheConfig{Name: "Tag$", Size: 32 << 10, LineSize: LineSize, Ways: 4}),
+	}
+}
+
+// Stats returns the hierarchy's aggregate traffic counters.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.LLC.Reset()
+	if h.TagCache != nil {
+		h.TagCache.Reset()
+	}
+	h.stats = HierarchyStats{}
+}
+
+// Access models a data access walking the hierarchy. It returns the level
+// that hit: 1, 2, 3, or 4 for DRAM.
+func (h *Hierarchy) Access(addr uint64, write bool) int {
+	if hit, _ := h.L1.Access(addr, write); hit {
+		return 1
+	}
+	if hit, _ := h.L2.Access(addr, write); hit {
+		return 2
+	}
+	h.stats.OffCoreBytes += LineSize
+	hit, wb := h.LLC.Access(addr, write)
+	if wb {
+		h.stats.DRAMWriteBytes += LineSize
+	}
+	if hit {
+		return 3
+	}
+	h.stats.DRAMReadBytes += LineSize
+	return 4
+}
+
+// AccessTags models a CLoadTags probe: it consults only the tag cache,
+// filling one tag-table line from DRAM on miss. It returns true if the probe
+// hit in the tag cache.
+func (h *Hierarchy) AccessTags(dataAddr uint64) bool {
+	if h.TagCache == nil {
+		return false
+	}
+	tagAddr := dataAddr / TagLineCoverage * LineSize
+	hit, _ := h.TagCache.Access(tagAddr, false)
+	if !hit {
+		h.stats.TagDRAMReads += LineSize
+		h.stats.DRAMReadBytes += LineSize
+		h.stats.OffCoreBytes += LineSize
+	}
+	return hit
+}

@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cap"
+)
+
+func TestDensityMeasurement(t *testing.T) {
+	m, heap := newHeap(t, 4)
+	if p, l := m.Density(); p != 0 || l != 0 {
+		t.Errorf("empty heap density = %.2f/%.2f", p, l)
+	}
+	obj, _ := heap.SetBoundsExact(heapBase+0x100, 64)
+	// One capability on page 0, two lines' worth on page 2.
+	if err := m.StoreCap(heap, heapBase, obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreCap(heap, heapBase+2*PageSize, obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreCap(heap, heapBase+2*PageSize+LineSize, obj); err != nil {
+		t.Fatal(err)
+	}
+	page, line := m.Density()
+	if page != 0.5 {
+		t.Errorf("page density = %.3f, want 0.5", page)
+	}
+	want := 3.0 / float64(4*LinesPerPage)
+	if line != want {
+		t.Errorf("line density = %.4f, want %.4f", line, want)
+	}
+}
+
+func TestPeekAccessorsMatchArchitecturalOnes(t *testing.T) {
+	m, heap := newHeap(t, 1)
+	obj, _ := heap.SetBoundsExact(heapBase+0x100, 64)
+	if err := m.StoreCap(heap, heapBase+0x40, obj); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+
+	mask, err := m.PeekLineTags(heapBase + 0x40)
+	if err != nil || mask != 0b0001 {
+		t.Errorf("PeekLineTags = %#b, %v", mask, err)
+	}
+	lo, hi, tag, err := m.PeekWords(heapBase + 0x40)
+	if err != nil || !tag {
+		t.Fatalf("PeekWords: tag=%v err=%v", tag, err)
+	}
+	wantLo, wantHi := obj.Encode()
+	if lo != wantLo || hi != wantHi {
+		t.Error("PeekWords returned wrong image")
+	}
+	// Peeks must not perturb the architectural event counters.
+	if m.Stats() != before {
+		t.Errorf("peek accessors mutated stats: %+v -> %+v", before, m.Stats())
+	}
+	// Alignment and mapping errors still apply.
+	if _, err := m.PeekLineTags(heapBase + 8); !errors.Is(err, ErrAlign) {
+		t.Errorf("unaligned PeekLineTags: %v", err)
+	}
+	if _, _, _, err := m.PeekWords(heapBase + 4); !errors.Is(err, ErrAlign) {
+		t.Errorf("unaligned PeekWords: %v", err)
+	}
+	if _, err := m.PeekLineTags(heapBase + 64*PageSize); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("unmapped PeekLineTags: %v", err)
+	}
+}
+
+func TestHierarchyVariantsAndReset(t *testing.T) {
+	for _, h := range []*Hierarchy{NewX86Hierarchy(), NewCHERIHierarchy()} {
+		if h.L1.Config().Size == 0 || h.LLC.Config().Size <= h.L2.Config().Size {
+			t.Errorf("%s hierarchy geometry: L1 %d L2 %d LLC %d", h.LLC.Config().Name,
+				h.L1.Config().Size, h.L2.Config().Size, h.LLC.Config().Size)
+		}
+		h.Access(0x1000, true)
+		h.AccessTags(0x1000)
+		if h.Stats().DRAMReadBytes == 0 {
+			t.Error("no traffic recorded")
+		}
+		h.Reset()
+		if h.Stats() != (HierarchyStats{}) {
+			t.Errorf("stats after reset: %+v", h.Stats())
+		}
+		if lvl := h.Access(0x1000, false); lvl != 4 {
+			t.Errorf("line survived hierarchy reset (hit level %d)", lvl)
+		}
+	}
+}
+
+func TestStoreWordPermissionDenied(t *testing.T) {
+	m, heap := newHeap(t, 1)
+	ro := heap.ClearPerms(cap.PermStore)
+	if err := m.StoreWord(ro, heapBase, 1); !errors.Is(err, cap.ErrPermission) {
+		t.Errorf("read-only StoreWord: %v", err)
+	}
+	// Unaligned but authorised: alignment fault.
+	if err := m.StoreWord(heap, heapBase+3, 1); !errors.Is(err, ErrAlign) {
+		t.Errorf("unaligned StoreWord: %v", err)
+	}
+	// Raw accessors reject unaligned addresses too.
+	if _, err := m.RawLoadWord(heapBase + 3); !errors.Is(err, ErrAlign) {
+		t.Errorf("unaligned RawLoadWord: %v", err)
+	}
+}

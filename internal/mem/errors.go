@@ -1,0 +1,28 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for memory operations.
+var (
+	// ErrUnmapped reports an access to an address with no mapped page.
+	ErrUnmapped = errors.New("mem: address not mapped")
+
+	// ErrAlign reports a misaligned access (words must be 8-byte aligned,
+	// capabilities 16-byte, CLoadTags line-aligned, mappings page-aligned).
+	ErrAlign = errors.New("mem: misaligned access")
+
+	// ErrCapStoreInhibit reports a capability store to a page whose PTE
+	// carries the capability-store-inhibit bit (footnote 3 of the paper),
+	// e.g. direct file mappings that cannot hold tags.
+	ErrCapStoreInhibit = errors.New("mem: capability store inhibited on page")
+
+	// ErrOverlap reports a mapping that overlaps an existing one.
+	ErrOverlap = errors.New("mem: mapping overlaps existing pages")
+)
+
+func faultf(err error, format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), err)
+}

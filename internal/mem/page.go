@@ -1,0 +1,108 @@
+package mem
+
+import "math/bits"
+
+// Geometry of the simulated memory system.
+const (
+	// PageSize is the virtual-memory page size in bytes.
+	PageSize = 4096
+
+	// WordSize is the machine word size in bytes.
+	WordSize = 8
+
+	// GranuleSize is the capability granule: one 128-bit capability, and
+	// one out-of-band tag bit, per 16 bytes. This also matches the
+	// allocator's minimum alignment and the shadow map's granule (§3.2).
+	GranuleSize = 16
+
+	// LineSize is the cache-line size in bytes; CLoadTags returns the tag
+	// bits of one line.
+	LineSize = 64
+
+	// WordsPerPage is the number of 64-bit words in a page.
+	WordsPerPage = PageSize / WordSize
+
+	// GranulesPerPage is the number of tag bits per page.
+	GranulesPerPage = PageSize / GranuleSize
+
+	// GranulesPerLine is the number of tag bits per cache line.
+	GranulesPerLine = LineSize / GranuleSize
+
+	// LinesPerPage is the number of cache lines per page.
+	LinesPerPage = PageSize / LineSize
+)
+
+// page is one mapped 4 KiB frame: data words plus the out-of-band tag bits
+// hardware keeps in its hierarchical tag table, and the page-table metadata
+// CHERIvoke's hardware assists consume.
+type page struct {
+	words [WordsPerPage]uint64
+	tags  [GranulesPerPage / 8]uint8
+
+	// capDirty is the PTE CapDirty flag (§3.4.2): set by the first tagged
+	// store to the page, cleared only when a sweep finds the page
+	// capability-free.
+	capDirty bool
+
+	// capStoreInhibit is the capability-store-inhibit PTE bit: tagged
+	// stores trap instead of setting capDirty.
+	capStoreInhibit bool
+
+	// capCount tracks the number of set tag bits, maintained on every
+	// tag transition so density queries are O(1).
+	capCount int
+}
+
+func (p *page) tagAt(granule uint) bool {
+	return p.tags[granule/8]&(1<<(granule%8)) != 0
+}
+
+func (p *page) setTag(granule uint, v bool) {
+	bit := uint8(1) << (granule % 8)
+	old := p.tags[granule/8]&bit != 0
+	if v == old {
+		return
+	}
+	if v {
+		p.tags[granule/8] |= bit
+		p.capCount++
+	} else {
+		p.tags[granule/8] &^= bit
+		p.capCount--
+	}
+}
+
+// lineTagMask returns the GranulesPerLine tag bits of the line starting at
+// the given line index within the page, as a little-endian bit mask.
+func (p *page) lineTagMask(line uint) uint8 {
+	g := line * GranulesPerLine
+	var mask uint8
+	for i := uint(0); i < GranulesPerLine; i++ {
+		if p.tagAt(g + i) {
+			mask |= 1 << i
+		}
+	}
+	return mask
+}
+
+// capLines returns the number of cache lines in the page containing at least
+// one tagged granule.
+func (p *page) capLines() int {
+	n := 0
+	for l := uint(0); l < LinesPerPage; l++ {
+		if p.lineTagMask(l) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// countTags recomputes capCount from the tag bitmap (used by invariant
+// checks in tests).
+func (p *page) countTags() int {
+	n := 0
+	for _, b := range p.tags {
+		n += bits.OnesCount8(b)
+	}
+	return n
+}

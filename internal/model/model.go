@@ -1,0 +1,62 @@
+// Package model implements the paper's analytic overhead model (§6.1.3):
+//
+//	RuntimeOverhead ≈ (FreeRate · PointerDensity) / (ScanRate · QuarantineFraction)
+//
+// The numerator is the application-specific cost factor; the denominator is
+// the machine's effective sweep bandwidth times the tunable quarantine
+// fraction. The model both predicts measured sweeping overheads (validated
+// against Figure 6 in tests) and inverts: given a target overhead, it yields
+// the quarantine fraction — and hence heap growth — required (Figure 9's
+// trade-off).
+package model
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RuntimeOverhead evaluates the paper's equation. freeRate and scanRate are
+// in bytes/second; pointerDensity is the fraction of memory that must be
+// swept (page-granularity density when only PTE CapDirty is used);
+// quarantineFraction is the quarantine-to-heap ratio. The result is the
+// fractional execution-time overhead attributable to sweeping (0.05 = 5%).
+func RuntimeOverhead(freeRate, pointerDensity, scanRate, quarantineFraction float64) float64 {
+	if scanRate <= 0 || quarantineFraction <= 0 {
+		return 0
+	}
+	return freeRate * pointerDensity / (scanRate * quarantineFraction)
+}
+
+// QuarantineFractionFor inverts the model: the quarantine fraction needed to
+// hold sweeping overhead at target for the given application cost factor.
+func QuarantineFractionFor(target, freeRate, pointerDensity, scanRate float64) float64 {
+	if target <= 0 || scanRate <= 0 {
+		return 0
+	}
+	return freeRate * pointerDensity / (scanRate * target)
+}
+
+// PredictProfile applies the model to a workload profile on a machine: the
+// free rate and page-granularity pointer density come from Table 2, and the
+// scan rate is the machine's sweep bandwidth under the given kernel on a
+// large dense sweep.
+func PredictProfile(p workload.Profile, m sim.Machine, k sim.Kernel, quarantineFraction float64) float64 {
+	scan := ScanRate(m, k)
+	return RuntimeOverhead(p.FreeRateMiB*(1<<20), p.PageDensity, scan, quarantineFraction)
+}
+
+// ScanRate returns the machine's asymptotic sweep bandwidth (bytes/s) for a
+// kernel: the model's ScanRate term.
+func ScanRate(m sim.Machine, k sim.Kernel) float64 {
+	const probe = uint64(1) << 30
+	w := sim.SweepWork{
+		WordsProcessed: probe / 8,
+		BytesRead:      probe,
+		PageRuns:       1,
+		Shards:         1,
+	}
+	if k == sim.KernelVector {
+		w.BytesWritten = probe
+	}
+	return m.SweepBandwidth(k.Costs(), w)
+}

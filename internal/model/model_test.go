@@ -1,0 +1,76 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestRuntimeOverheadEquation(t *testing.T) {
+	// 371 MiB/s freed at 86% density against ~5.4 GiB/s scan rate and a
+	// 25% quarantine: xalancbmk's sweeping cost lands in the tens of
+	// percent, as in Figure 6.
+	got := RuntimeOverhead(371*(1<<20), 0.86, 5.4e9, 0.25)
+	if got < 0.15 || got > 0.40 {
+		t.Errorf("xalancbmk predicted sweep overhead %.3f outside [0.15, 0.40]", got)
+	}
+	// Degenerate inputs.
+	if RuntimeOverhead(1, 1, 0, 0.25) != 0 || RuntimeOverhead(1, 1, 1e9, 0) != 0 {
+		t.Error("degenerate inputs must predict zero")
+	}
+}
+
+func TestOverheadScalesInverselyWithQuarantine(t *testing.T) {
+	a := RuntimeOverhead(100e6, 0.5, 8e9, 0.25)
+	b := RuntimeOverhead(100e6, 0.5, 8e9, 0.50)
+	if ratio := a / b; ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("doubling quarantine must halve overhead; ratio = %.3f", ratio)
+	}
+}
+
+func TestQuarantineFractionForInverts(t *testing.T) {
+	free, dens, scan := 371*float64(1<<20), 0.86, 5.4e9
+	target := 0.10
+	q := QuarantineFractionFor(target, free, dens, scan)
+	back := RuntimeOverhead(free, dens, scan, q)
+	if diff := back - target; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("inversion error: %.3g", diff)
+	}
+}
+
+func TestScanRateOrdering(t *testing.T) {
+	m := sim.X86()
+	s := ScanRate(m, sim.KernelSimple)
+	v := ScanRate(m, sim.KernelVector)
+	if !(s < v) {
+		t.Errorf("scan rates: simple %.0f >= vector %.0f", s, v)
+	}
+	if v < 6e9 || v > 10e9 {
+		t.Errorf("vector scan rate %.2f GiB/s, want ~8", v/(1<<30))
+	}
+}
+
+func TestPredictProfileIdentifiesExpensiveBenchmarks(t *testing.T) {
+	// §6.1.3: xalancbmk, omnetpp, dealII and soplex are "the only
+	// benchmarks with over 5% execution time overhead, as suggested by
+	// the model". ffmpeg's high free rate is offset by low density.
+	m := sim.X86()
+	over := map[string]float64{}
+	for _, p := range workload.All() {
+		over[p.Name] = PredictProfile(p, m, sim.KernelVector, 0.25)
+	}
+	for _, name := range []string{"xalancbmk", "omnetpp"} {
+		if over[name] < 0.05 {
+			t.Errorf("%s predicted %.3f, want > 0.05", name, over[name])
+		}
+	}
+	for _, name := range []string{"ffmpeg", "bzip2", "hmmer", "povray", "gobmk"} {
+		if over[name] > 0.05 {
+			t.Errorf("%s predicted %.3f, want <= 0.05", name, over[name])
+		}
+	}
+	if over["xalancbmk"] <= over["dealII"] {
+		t.Error("xalancbmk must out-cost dealII (higher rate and density)")
+	}
+}

@@ -1,0 +1,309 @@
+// Package revoke implements CHERIvoke's revocation sweep (§3.3–§3.5 of the
+// paper): a walk over all capability-bearing memory and the register file
+// that looks up the base of every tagged capability in the revocation shadow
+// map and clears the tag of any capability pointing into quarantined space.
+//
+// The sweep is functional — tags really are cleared on the simulated memory
+// — and simultaneously produces the event counts (words examined, lines
+// fetched, probes issued, page runs entered) that internal/sim prices into
+// simulated seconds, and that the cache hierarchy model turns into DRAM
+// traffic for Figure 10.
+//
+// Work-elimination levels (§3.4):
+//   - PTE CapDirty: only pages whose page-table entry records a capability
+//     store are swept at all;
+//   - CLoadTags: within a swept page, lines whose tag probe returns zero are
+//     skipped without fetching data.
+package revoke
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cap"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+)
+
+// Config selects the sweep implementation.
+type Config struct {
+	// Kernel selects the inner-loop implementation (timing only; all
+	// kernels revoke identically).
+	Kernel sim.Kernel
+
+	// UseCapDirty restricts the sweep to PTE-CapDirty pages (§3.4.2).
+	UseCapDirty bool
+
+	// UseCLoadTags probes line tags and skips capability-free lines
+	// (§3.4.1).
+	UseCLoadTags bool
+
+	// Shards is the parallel sweep width; 0 or 1 sweeps serially (§3.5).
+	Shards int
+
+	// Launder re-cleans CapDirty pages found capability-free (§3.4.2).
+	Launder bool
+
+	// Hierarchy, when non-nil, replays the sweep's accesses through the
+	// cache model for DRAM-traffic accounting (Figure 10). Only applied
+	// for serial sweeps: the cache model is single-threaded.
+	Hierarchy *mem.Hierarchy
+}
+
+// Stats is the event-count summary of one sweep.
+type Stats struct {
+	PagesTotal    uint64 // mapped pages in the swept segments
+	PagesSwept    uint64 // pages actually walked
+	PagesSkipped  uint64 // pages excluded by CapDirty
+	PageRuns      uint64 // contiguous runs of swept pages
+	LinesSwept    uint64 // lines whose data was examined
+	LinesSkipped  uint64 // lines excluded by CLoadTags
+	TagProbes     uint64 // CLoadTags probes issued
+	WordsRead     uint64 // words examined by the kernel
+	CapsFound     uint64 // tagged capabilities encountered
+	CapsRevoked   uint64 // tags cleared (memory)
+	RegsScanned   uint64 // register-file entries examined
+	RegsRevoked   uint64 // register-file entries revoked
+	ShadowLookups uint64
+	PagesLaunder  uint64 // CapDirty bits re-cleaned
+	BytesRead     uint64 // data bytes fetched
+	BytesWritten  uint64 // bytes stored (revocation write-backs)
+}
+
+// Work converts the stats into the timing model's sweep-work summary.
+func (s Stats) Work(shards int) sim.SweepWork {
+	if shards < 1 {
+		shards = 1
+	}
+	return sim.SweepWork{
+		WordsProcessed: s.WordsRead,
+		BytesRead:      s.BytesRead,
+		BytesWritten:   s.BytesWritten,
+		TagProbes:      s.TagProbes,
+		PageRuns:       s.PageRuns,
+		Shards:         shards,
+	}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PagesTotal += other.PagesTotal
+	s.PagesSwept += other.PagesSwept
+	s.PagesSkipped += other.PagesSkipped
+	s.PageRuns += other.PageRuns
+	s.LinesSwept += other.LinesSwept
+	s.LinesSkipped += other.LinesSkipped
+	s.TagProbes += other.TagProbes
+	s.WordsRead += other.WordsRead
+	s.CapsFound += other.CapsFound
+	s.CapsRevoked += other.CapsRevoked
+	s.RegsScanned += other.RegsScanned
+	s.RegsRevoked += other.RegsRevoked
+	s.ShadowLookups += other.ShadowLookups
+	s.PagesLaunder += other.PagesLaunder
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+}
+
+// Sweeper revokes dangling capabilities against a shadow map.
+type Sweeper struct {
+	mem    *mem.Memory
+	shadow *shadow.Map
+	cfg    Config
+}
+
+// New returns a sweeper over m guided by the shadow map sm.
+func New(m *mem.Memory, sm *shadow.Map, cfg Config) *Sweeper {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	return &Sweeper{mem: m, shadow: sm, cfg: cfg}
+}
+
+// Config returns the sweeper's configuration.
+func (s *Sweeper) Config() Config { return s.cfg }
+
+// Sweep revokes all capabilities whose base lies in painted shadow-map
+// granules, covering every mapped page (or only CapDirty pages) and the
+// supplied register file. Registers are updated in place: a register holding
+// a revoked capability has its tag cleared, exactly like a memory word.
+func (s *Sweeper) Sweep(regs []cap.Capability) (Stats, error) {
+	var stats Stats
+
+	// Register file first: cheap and always fully scanned (§3.3 "the
+	// sweep must cover ... register files").
+	for i := range regs {
+		stats.RegsScanned++
+		if !regs[i].Tag() {
+			continue
+		}
+		stats.ShadowLookups++
+		if s.shadow.Revoked(regs[i].Base()) {
+			regs[i] = regs[i].ClearTag()
+			stats.RegsRevoked++
+		}
+	}
+
+	pages := s.mem.AllPages()
+	stats.PagesTotal = uint64(len(pages))
+	swept := pages
+	if s.cfg.UseCapDirty {
+		swept = s.mem.CapDirtyPages()
+		stats.PagesSkipped = stats.PagesTotal - uint64(len(swept))
+	}
+	stats.PagesSwept = uint64(len(swept))
+	stats.PageRuns = countRuns(swept)
+
+	var revoked []uint64
+	var err error
+	if s.cfg.Shards > 1 {
+		revoked, err = s.sweepParallel(swept, &stats)
+	} else {
+		revoked, err = s.sweepPages(swept, &stats)
+	}
+	if err != nil {
+		return stats, err
+	}
+
+	// Apply revocations: clear tags, counting write-back traffic.
+	for _, addr := range revoked {
+		if err := s.mem.ClearTag(addr); err != nil {
+			return stats, fmt.Errorf("revoke: clearing tag at %#x: %w", addr, err)
+		}
+		if s.cfg.Hierarchy != nil && s.cfg.Shards <= 1 {
+			s.cfg.Hierarchy.Access(addr, true)
+		}
+	}
+	stats.CapsRevoked = uint64(len(revoked))
+	stats.BytesWritten += uint64(len(revoked)) * mem.GranuleSize
+	if s.cfg.Kernel == sim.KernelVector {
+		// The vectorised kernel stores every line back
+		// unconditionally (§6.2), trading branches for copy traffic.
+		stats.BytesWritten = stats.LinesSwept * mem.LineSize
+	}
+
+	if s.cfg.Launder {
+		for _, base := range swept {
+			cleaned, err := s.mem.LaunderCapDirty(base)
+			if err != nil {
+				return stats, err
+			}
+			if cleaned {
+				stats.PagesLaunder++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// sweepPages walks the given pages serially, returning the addresses of
+// granules holding revoked capabilities.
+func (s *Sweeper) sweepPages(pages []uint64, stats *Stats) ([]uint64, error) {
+	var revoked []uint64
+	for _, base := range pages {
+		if err := s.sweepOnePage(base, stats, &revoked); err != nil {
+			return nil, err
+		}
+	}
+	return revoked, nil
+}
+
+func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64) error {
+	for line := uint64(0); line < mem.LinesPerPage; line++ {
+		lineAddr := base + line*mem.LineSize
+		if s.cfg.UseCLoadTags {
+			mask, err := s.mem.PeekLineTags(lineAddr)
+			if err != nil {
+				return err
+			}
+			stats.TagProbes++
+			if s.cfg.Hierarchy != nil && s.cfg.Shards <= 1 {
+				s.cfg.Hierarchy.AccessTags(lineAddr)
+			}
+			if mask == 0 {
+				stats.LinesSkipped++
+				continue
+			}
+		}
+		stats.LinesSwept++
+		stats.BytesRead += mem.LineSize
+		if s.cfg.Hierarchy != nil && s.cfg.Shards <= 1 {
+			s.cfg.Hierarchy.Access(lineAddr, false)
+		}
+		for g := uint64(0); g < mem.GranulesPerLine; g++ {
+			addr := lineAddr + g*mem.GranuleSize
+			lo, hi, tag, err := s.mem.PeekWords(addr)
+			if err != nil {
+				return err
+			}
+			stats.WordsRead += mem.GranuleSize / mem.WordSize
+			if !tag {
+				continue
+			}
+			stats.CapsFound++
+			stats.ShadowLookups++
+			if s.shadow.Revoked(cap.DecodeBase(lo, hi)) {
+				*revoked = append(*revoked, addr)
+			}
+		}
+	}
+	return nil
+}
+
+// sweepParallel shards the page list across goroutines (§3.5: "pages to
+// sweep can be distributed between independent threads; the shared shadow
+// map is read-only during the sweep"). Each shard reads concurrently;
+// revocations are applied serially by the caller.
+func (s *Sweeper) sweepParallel(pages []uint64, stats *Stats) ([]uint64, error) {
+	shards := s.cfg.Shards
+	type result struct {
+		stats   Stats
+		revoked []uint64
+		err     error
+	}
+	results := make([]result, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			for j := i; j < len(pages); j += shards {
+				if err := s.sweepOnePage(pages[j], &r.stats, &r.revoked); err != nil {
+					r.err = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var revoked []uint64
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		stats.Add(Stats{
+			LinesSwept:    results[i].stats.LinesSwept,
+			LinesSkipped:  results[i].stats.LinesSkipped,
+			TagProbes:     results[i].stats.TagProbes,
+			WordsRead:     results[i].stats.WordsRead,
+			CapsFound:     results[i].stats.CapsFound,
+			ShadowLookups: results[i].stats.ShadowLookups,
+			BytesRead:     results[i].stats.BytesRead,
+		})
+		revoked = append(revoked, results[i].revoked...)
+	}
+	return revoked, nil
+}
+
+// countRuns counts maximal runs of contiguous pages in a sorted page list.
+func countRuns(pages []uint64) uint64 {
+	var runs uint64
+	for i, p := range pages {
+		if i == 0 || p != pages[i-1]+mem.PageSize {
+			runs++
+		}
+	}
+	return runs
+}

@@ -1,0 +1,93 @@
+package revoke
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestHierarchyTrafficAccounting verifies the Figure 10 plumbing: a sweep
+// with a cache hierarchy attached generates DRAM and off-core traffic
+// proportional to the lines it touches, and CLoadTags probes route through
+// the tag cache instead of the data path.
+func TestHierarchyTrafficAccounting(t *testing.T) {
+	f := newFixture(t)
+	// Populate every line of two pages so the sweep streams them.
+	for l := uint64(0); l < 2*mem.LinesPerPage; l++ {
+		f.plant(t, heapBase+l*mem.LineSize, heapBase+0x2000)
+	}
+
+	h := mem.NewX86Hierarchy()
+	s := New(f.mem, f.shadow, Config{UseCapDirty: true, Hierarchy: h})
+	stats, err := s.Sweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := h.Stats()
+	if traffic.DRAMReadBytes == 0 || traffic.OffCoreBytes == 0 {
+		t.Fatalf("no traffic recorded: %+v", traffic)
+	}
+	// A cold sweep misses on every distinct line it reads.
+	if traffic.DRAMReadBytes < stats.BytesRead {
+		t.Errorf("DRAM reads %d below swept bytes %d", traffic.DRAMReadBytes, stats.BytesRead)
+	}
+
+	// With CLoadTags, tag-cache traffic appears and is far smaller than
+	// the data traffic it replaces (one tag line covers 8 KiB of data).
+	h2 := mem.NewX86Hierarchy()
+	s2 := New(f.mem, f.shadow, Config{UseCapDirty: true, UseCLoadTags: true, Hierarchy: h2})
+	if _, err := s2.Sweep(nil); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Stats().TagDRAMReads == 0 {
+		t.Error("no tag-table traffic with CLoadTags")
+	}
+	if h2.Stats().TagDRAMReads >= traffic.DRAMReadBytes {
+		t.Errorf("tag traffic %d not smaller than data traffic %d",
+			h2.Stats().TagDRAMReads, traffic.DRAMReadBytes)
+	}
+}
+
+// TestParallelSweepSkipsHierarchy documents that traffic accounting is
+// serial-only (the cache model is single-threaded): a sharded sweep leaves
+// the hierarchy untouched rather than racing on it.
+func TestParallelSweepSkipsHierarchy(t *testing.T) {
+	f := newFixture(t)
+	f.plant(t, heapBase+0x40, heapBase+0x2000)
+	h := mem.NewX86Hierarchy()
+	s := New(f.mem, f.shadow, Config{Shards: 4, Hierarchy: h})
+	if _, err := s.Sweep(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Stats(); got.DRAMReadBytes != 0 {
+		t.Errorf("parallel sweep touched the hierarchy: %+v", got)
+	}
+}
+
+// TestSweepTimeMatchesKernelAcrossConfigs sanity-checks that the priced
+// sweep time responds to the work-elimination stats end to end.
+func TestSweepTimeMatchesKernelAcrossConfigs(t *testing.T) {
+	f := newFixture(t)
+	// One capability-bearing line per page on half the pages.
+	for p := uint64(0); p < 8; p++ {
+		f.plant(t, heapBase+p*mem.PageSize, heapBase+0x2000)
+	}
+	machine := sim.CHERIFPGA()
+	time := func(cfg Config) float64 {
+		st, err := New(f.mem, f.shadow, cfg).Sweep(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return machine.SweepTime(cfg.Kernel.Costs(), st.Work(1))
+	}
+	full := time(Config{})
+	dirty := time(Config{UseCapDirty: true})
+	both := time(Config{UseCapDirty: true, UseCLoadTags: true})
+	if !(dirty < full) {
+		t.Errorf("CapDirty %.3g not below full %.3g", dirty, full)
+	}
+	if !(both < dirty) {
+		t.Errorf("both %.3g not below CapDirty %.3g (sparse lines)", both, dirty)
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import "fmt"
+
+// Kernel identifies one implementation of the sweeping inner loop (§6.2,
+// Figure 7).
+type Kernel int
+
+const (
+	// KernelSimple is the naive loop of §3.3: load word, test tag,
+	// shadow lookup, conditional store. Data-dependent branches make it
+	// compute bound (28% of read bandwidth in the paper).
+	KernelSimple Kernel = iota
+
+	// KernelUnrolled is the unrolled, software-pipelined loop (32%).
+	KernelUnrolled
+
+	// KernelVector is the AVX2-style kernel: 28 instructions per 64-byte
+	// line, but an unconditional store per line makes it behave like
+	// memcpy, saturating at copy bandwidth (~8 GiB/s, roughly constant).
+	KernelVector
+)
+
+// String returns the figure label for the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelSimple:
+		return "Simple loop"
+	case KernelUnrolled:
+		return "Unrolling + manual pipelining"
+	case KernelVector:
+		return "AVX2"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// KernelCost is the calibrated per-kernel cost structure.
+type KernelCost struct {
+	Kernel Kernel
+	// InstrPerWord is the average instruction cost of examining one
+	// 64-bit word, including the shadow lookup and (mispredicted)
+	// branches for the scalar kernels.
+	InstrPerWord float64
+	// StoresAllLines marks kernels that write every line back
+	// unconditionally (the vector kernel), doubling DRAM traffic.
+	StoresAllLines bool
+}
+
+// Costs returns the calibrated cost model for the kernel. Calibration:
+// utilisation = readBW_achieved/readBW_peak from §6.2 at the x86 machine's
+// 11.6 G instr/s gives instructions/word.
+func (k Kernel) Costs() KernelCost {
+	switch k {
+	case KernelSimple:
+		// 28% of 19,405 MiB/s = 712 M words/s at 11.6 G instr/s.
+		return KernelCost{Kernel: k, InstrPerWord: 16.3}
+	case KernelUnrolled:
+		// 32% utilisation.
+		return KernelCost{Kernel: k, InstrPerWord: 14.3}
+	case KernelVector:
+		// 28 instructions per 8-word line (§6.2), unconditional store.
+		return KernelCost{Kernel: k, InstrPerWord: 3.5, StoresAllLines: true}
+	default:
+		return KernelCost{Kernel: k, InstrPerWord: 16.3}
+	}
+}
+
+// SweepWork is the event-count summary of one revocation sweep, produced by
+// internal/revoke and priced by Machine.SweepTime.
+type SweepWork struct {
+	WordsProcessed uint64 // words the kernel examined
+	BytesRead      uint64 // data bytes fetched from memory
+	BytesWritten   uint64 // bytes stored (revocations, or all lines for vector)
+	TagProbes      uint64 // CLoadTags probes issued
+	PageRuns       uint64 // contiguous page runs entered
+	Shards         int    // parallel sweep width (≥1)
+}
+
+// SweepTime prices one sweep on the machine under the given kernel: the
+// maximum of compute time and DRAM time (the sweep is either compute or
+// bandwidth bound), plus per-run and per-probe costs and fixed startup.
+// Parallel shards divide compute linearly but share DRAM bandwidth (§3.5).
+func (m Machine) SweepTime(kc KernelCost, w SweepWork) float64 {
+	shards := float64(1)
+	if w.Shards > 1 {
+		shards = float64(w.Shards)
+		if max := float64(m.Threads); shards > max {
+			shards = max
+		}
+	}
+	instr := float64(w.WordsProcessed) * kc.InstrPerWord
+	compute := instr / (m.FreqHz * m.IPC) / shards
+	var dram float64
+	if kc.StoresAllLines {
+		dram = float64(w.BytesRead+w.BytesWritten) / m.DRAMCopyBW
+	} else {
+		dram = float64(w.BytesRead)/m.DRAMReadBW + float64(w.BytesWritten)/m.DRAMCopyBW
+	}
+	t := compute
+	if dram > t {
+		t = dram
+	}
+	t += float64(w.TagProbes) * m.TagProbe / shards
+	t += float64(w.PageRuns) * m.PageRunSwitch / shards
+	t += m.SweepStartup
+	return t
+}
+
+// SweepBandwidth reports the effective read bandwidth (bytes/s) the sweep
+// achieved over the bytes it covered, Figure 7's y-axis (there in MiB/s).
+func (m Machine) SweepBandwidth(kc KernelCost, w SweepWork) float64 {
+	t := m.SweepTime(kc, w)
+	if t == 0 {
+		return 0
+	}
+	return float64(w.BytesRead) / t
+}

@@ -1,0 +1,116 @@
+// Package sim holds the machine timing model: the system descriptions of
+// Table 1 and the calibrated cost model that converts event counts (words
+// swept, lines fetched, shadow stores, allocator operations) into simulated
+// seconds. Correctness in this reproduction is always functional — tags
+// really are cleared — while *time* is an overlay computed here, never a
+// wall clock, so every figure is deterministic.
+//
+// Calibration sources:
+//   - Table 1: clock rates, core counts, LLC sizes, memory technology;
+//   - §6.2 / Figure 7: the x86 system's 19,405 MiB/s read bandwidth and the
+//     measured sweep-kernel utilisations (28% simple, 32% unrolled, ~8 GiB/s
+//     vectorised, the latter limited by memory-copy behaviour because the
+//     AVX2 kernel stores unconditionally);
+//   - §6.3 / Figure 8: the ~10-cycle CLoadTags round trip on the FPGA.
+package sim
+
+// Machine describes one evaluation system (Table 1).
+type Machine struct {
+	Name    string
+	FreqHz  float64 // core clock
+	IPC     float64 // sustained instructions/cycle in the sweep kernels
+	Cores   int
+	Threads int
+	LLC     uint64 // last-level cache bytes
+
+	// DRAMReadBW is the streaming read bandwidth in bytes/s.
+	DRAMReadBW float64
+	// DRAMCopyBW is the sustained read+write (memcpy-like) total
+	// bandwidth in bytes/s; kernels that store unconditionally are bound
+	// by it.
+	DRAMCopyBW float64
+
+	// LLCMissPenalty is the added latency of an off-core access, in
+	// seconds (used by the quarantine cache-effect model).
+	LLCMissPenalty float64
+
+	// SweepStartup is the fixed per-sweep cost (entering the runtime,
+	// reading the CapDirty page list, fencing) in seconds.
+	SweepStartup float64
+	// PageRunSwitch is the cost of starting a new run of contiguous
+	// pages during a sweep (TLB/prefetch ramp), in seconds. Fragmented
+	// dirty-page sets (low pointer density) pay it often, which is why
+	// mcf and milc fall short of full bandwidth in Figure 7.
+	PageRunSwitch float64
+	// TagProbe is the CLoadTags round-trip cost in seconds (§6.3: ~10
+	// cycles on the FPGA prototype).
+	TagProbe float64
+
+	// SweepContention is the fraction of a concurrently-running sweep's
+	// duration that still slows the main thread (shared LLC and DRAM
+	// bandwidth), for §3.5's run-alongside-execution mode. Zero on
+	// single-core machines, where concurrency is impossible.
+	SweepContention float64
+
+	// Allocator operation costs in seconds, for the overhead
+	// decomposition (Figure 6).
+	MallocCost     float64
+	FreeCost       float64 // a real dlmalloc free
+	QuarantineCost float64 // detaining a chunk (“typically less than half
+	// the execution time of a real free”, §6.1.1)
+	ShadowStoreCost float64 // one shadow-map store (word or bit RMW)
+}
+
+// MiB is 2^20 bytes, the paper's bandwidth unit.
+const MiB = 1 << 20
+
+// X86 returns the paper's x86-64 evaluation system: Intel Core i7-7820HK,
+// 2.9 GHz, 4 cores / 8 threads, 8 MiB LLC, DDR4-2400, measured 19,405 MiB/s
+// read bandwidth (§6.2), running FreeBSD 12.0.
+func X86() Machine {
+	cycle := 1 / 2.9e9
+	return Machine{
+		Name:            "x86-64 i7-7820HK",
+		FreqHz:          2.9e9,
+		IPC:             4,
+		Cores:           4,
+		Threads:         8,
+		LLC:             8 << 20,
+		DRAMReadBW:      19405 * MiB,
+		DRAMCopyBW:      16600 * MiB, // sustained memcpy total (read+write)
+		LLCMissPenalty:  70e-9,
+		SweepStartup:    20e-6,
+		PageRunSwitch:   600 * cycle,
+		TagProbe:        40 * cycle, // deeper x86 hierarchy than the FPGA's 10 cycles
+		SweepContention: 0.18,
+		MallocCost:      55e-9,
+		FreeCost:        45e-9,
+		QuarantineCost:  20e-9,
+		ShadowStoreCost: 2.5e-9,
+	}
+}
+
+// CHERIFPGA returns the CHERI prototype of Table 1: Stratix IV FPGA at
+// 100 MHz, single in-order scalar core, 256 KiB LLC, 1 GiB DDR2.
+func CHERIFPGA() Machine {
+	cycle := 1 / 100e6
+	return Machine{
+		Name:            "CHERI Stratix IV FPGA",
+		FreqHz:          100e6,
+		IPC:             0.7,
+		Cores:           1,
+		Threads:         1,
+		LLC:             256 << 10,
+		DRAMReadBW:      800 * MiB,
+		DRAMCopyBW:      700 * MiB,
+		LLCMissPenalty:  350e-9,
+		SweepStartup:    200e-6,
+		PageRunSwitch:   1200 * cycle,
+		TagProbe:        10 * cycle, // §6.3: ~10-cycle round trip
+		SweepContention: 0,          // single core: no spare thread to sweep on
+		MallocCost:      900e-9,
+		FreeCost:        700e-9,
+		QuarantineCost:  350e-9,
+		ShadowStoreCost: 40e-9,
+	}
+}

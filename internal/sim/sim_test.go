@@ -1,0 +1,139 @@
+package sim
+
+import "testing"
+
+// sweepOf builds the work summary for a dense sweep of n bytes.
+func sweepOf(bytes uint64, k Kernel) SweepWork {
+	w := SweepWork{
+		WordsProcessed: bytes / 8,
+		BytesRead:      bytes,
+		PageRuns:       1,
+		Shards:         1,
+	}
+	if k == KernelVector {
+		w.BytesWritten = bytes
+	}
+	return w
+}
+
+func TestKernelStrings(t *testing.T) {
+	if KernelSimple.String() != "Simple loop" || KernelVector.String() != "AVX2" {
+		t.Error("kernel labels changed; Figure 7 output depends on them")
+	}
+}
+
+func TestSweepBandwidthOrdering(t *testing.T) {
+	// Figure 7: simple < unrolled < vector on large sweeps.
+	m := X86()
+	const bytes = 1 << 30
+	var bw [3]float64
+	for i, k := range []Kernel{KernelSimple, KernelUnrolled, KernelVector} {
+		bw[i] = m.SweepBandwidth(k.Costs(), sweepOf(bytes, k))
+	}
+	if !(bw[0] < bw[1] && bw[1] < bw[2]) {
+		t.Errorf("bandwidth ordering violated: %v", bw)
+	}
+}
+
+func TestSweepKernelCalibration(t *testing.T) {
+	// §6.2 reports ~28%, ~32% utilisation and ~8 GiB/s for the three
+	// kernels; the model must land near those anchors on a large sweep.
+	m := X86()
+	const bytes = 1 << 30
+	peak := m.DRAMReadBW
+	checks := []struct {
+		k      Kernel
+		lo, hi float64 // utilisation window
+	}{
+		{KernelSimple, 0.24, 0.32},
+		{KernelUnrolled, 0.28, 0.36},
+		{KernelVector, 0.36, 0.46},
+	}
+	for _, c := range checks {
+		util := m.SweepBandwidth(c.k.Costs(), sweepOf(bytes, c.k)) / peak
+		if util < c.lo || util > c.hi {
+			t.Errorf("%v utilisation = %.3f, want in [%.2f, %.2f]", c.k, util, c.lo, c.hi)
+		}
+	}
+}
+
+func TestVectorKernelRoughlyConstant(t *testing.T) {
+	// §6.2: "the performance of the AVX2 loop is roughly constant at
+	// almost 8 GiB/s" — large sweeps of different sizes must agree.
+	m := X86()
+	kc := KernelVector.Costs()
+	b1 := m.SweepBandwidth(kc, sweepOf(1<<28, KernelVector))
+	b2 := m.SweepBandwidth(kc, sweepOf(1<<31, KernelVector))
+	if ratio := b1 / b2; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("vector bandwidth varies: %.0f vs %.0f MiB/s", b1/MiB, b2/MiB)
+	}
+	if gib := b2 / (1 << 30); gib < 7 || gib > 9 {
+		t.Errorf("vector bandwidth = %.2f GiB/s, want ~8", gib)
+	}
+}
+
+func TestSmallSweepsUnderutilise(t *testing.T) {
+	// §6.2: mcf and milc "see lower bandwidth utilisation, as their
+	// small, infrequent sweeping loops do not reach full throughput."
+	m := X86()
+	kc := KernelVector.Costs()
+	big := m.SweepBandwidth(kc, sweepOf(1<<30, KernelVector))
+	small := sweepOf(1<<22, KernelVector)
+	small.PageRuns = 512 // fragmented dirty set
+	if got := m.SweepBandwidth(kc, small); got >= big*0.8 {
+		t.Errorf("small fragmented sweep %.0f MiB/s not clearly below %.0f MiB/s", got/MiB, big/MiB)
+	}
+}
+
+func TestParallelShardsDivideCompute(t *testing.T) {
+	// A compute-bound kernel must speed up with shards; the bound is
+	// DRAM bandwidth (§3.5).
+	m := X86()
+	kc := KernelSimple.Costs()
+	w := sweepOf(1<<30, KernelSimple)
+	t1 := m.SweepTime(kc, w)
+	w.Shards = 4
+	t4 := m.SweepTime(kc, w)
+	if t4 >= t1 {
+		t.Errorf("4 shards (%.3fms) not faster than 1 (%.3fms)", t4*1e3, t1*1e3)
+	}
+	// Never faster than the DRAM floor.
+	floor := float64(w.BytesRead) / m.DRAMReadBW
+	if t4 < floor {
+		t.Errorf("parallel sweep %.3fms beat the DRAM floor %.3fms", t4*1e3, floor*1e3)
+	}
+	// Shards clamp at the machine's thread count.
+	w.Shards = 1000
+	if m.SweepTime(kc, w) < floor {
+		t.Error("absurd shard count beat the DRAM floor")
+	}
+}
+
+func TestTagProbeCost(t *testing.T) {
+	m := X86()
+	kc := KernelSimple.Costs()
+	w := SweepWork{TagProbes: 1 << 20, Shards: 1}
+	base := m.SweepTime(kc, SweepWork{Shards: 1})
+	if got := m.SweepTime(kc, w); got <= base {
+		t.Error("tag probes cost nothing")
+	}
+}
+
+func TestMachineDescriptions(t *testing.T) {
+	x, c := X86(), CHERIFPGA()
+	if x.FreqHz != 2.9e9 || x.Cores != 4 || x.Threads != 8 || x.LLC != 8<<20 {
+		t.Errorf("x86 Table 1 mismatch: %+v", x)
+	}
+	if c.FreqHz != 100e6 || c.Cores != 1 || c.LLC != 256<<10 {
+		t.Errorf("FPGA Table 1 mismatch: %+v", c)
+	}
+	if x.DRAMReadBW != 19405*MiB {
+		t.Errorf("x86 read bandwidth = %f, want 19405 MiB/s", x.DRAMReadBW/MiB)
+	}
+	if c.QuarantineCost >= c.FreeCost {
+		t.Error("quarantine insert must be cheaper than a real free (§6.1.1)")
+	}
+	if x.QuarantineCost >= x.FreeCost {
+		t.Error("quarantine insert must be cheaper than a real free (§6.1.1)")
+	}
+}

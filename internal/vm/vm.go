@@ -1,0 +1,287 @@
+// Package vm implements a minimal CHERI-style register machine over the
+// CHERIvoke runtime: 16 capability registers, 16 integer registers, and an
+// instruction set just large enough to write realistic pointer-manipulating
+// programs (allocation, stores and loads of data and capabilities, bounds
+// derivation, control flow).
+//
+// Its purpose is integration testing at the level the paper reasons about:
+// whole programs — including ones with use-after-free bugs — run unmodified
+// under either the insecure allocator or CHERIvoke, and the machine's
+// capability register file is registered with the runtime as sweep roots,
+// so revocation reaches in-flight registers exactly as §3.3 requires.
+//
+// A capability fault does not abort execution from the host's perspective:
+// it stops the program and is reported as the program's Trap, letting tests
+// assert "this program faults here with ErrTagCleared under CHERIvoke and
+// runs to completion (unsafely) without it".
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+)
+
+// NumRegs is the number of capability and integer registers.
+const NumRegs = 16
+
+// Op is an instruction opcode.
+type Op int
+
+// The instruction set. C-register operands are named Cd/Ca/Cb; integer
+// operands Xd/Xa; Imm is a 64-bit immediate.
+const (
+	// OpHalt stops the program successfully.
+	OpHalt Op = iota
+
+	// OpMalloc: Cd = malloc(Imm) — a fresh bounded capability.
+	OpMalloc
+
+	// OpFree: free(Ca).
+	OpFree
+
+	// OpRevoke forces a full revocation cycle (modelling the runtime's
+	// quarantine-full trigger at a program point).
+	OpRevoke
+
+	// OpMovC: Cd = Ca.
+	OpMovC
+
+	// OpIncC: Cd = Ca + Xa + Imm (pointer arithmetic).
+	OpIncC
+
+	// OpSetBounds: Cd = setbounds(Ca, base=addr(Ca), len=Imm).
+	OpSetBounds
+
+	// OpClearPerm: Cd = Ca with permission bits Imm cleared.
+	OpClearPerm
+
+	// OpMovXI: Xd = Imm.
+	OpMovXI
+
+	// OpAddX: Xd = Xa + Xb + Imm.
+	OpAddX
+
+	// OpLoadW: Xd = *(Ca + Imm), an 8-byte data load.
+	OpLoadW
+
+	// OpStoreW: *(Ca + Imm) = Xa, an 8-byte data store.
+	OpStoreW
+
+	// OpLoadC: Cd = *(Ca + Imm), a 16-byte capability load.
+	OpLoadC
+
+	// OpStoreC: *(Ca + Imm) = Cb, a 16-byte capability store.
+	OpStoreC
+
+	// OpTagX: Xd = tag(Ca) as 0 or 1 (CGetTag).
+	OpTagX
+
+	// OpJmp: pc = Imm.
+	OpJmp
+
+	// OpBnez: if Xa != 0 { pc = Imm }.
+	OpBnez
+
+	// OpBeqX: if Xa == Xb { pc = Imm }.
+	OpBeqX
+)
+
+// Instr is one instruction.
+type Instr struct {
+	Op         Op
+	Cd, Ca, Cb int // capability register operands
+	Xd, Xa, Xb int // integer register operands
+	Imm        uint64
+}
+
+// Trap describes why a program stopped before OpHalt.
+type Trap struct {
+	PC    int
+	Instr Instr
+	Err   error // the architectural cause (cap.ErrTagCleared, ...)
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("vm: trap at pc=%d op=%d: %v", t.PC, t.Instr.Op, t.Err)
+}
+
+// Unwrap exposes the architectural cause to errors.Is.
+func (t *Trap) Unwrap() error { return t.Err }
+
+// ErrStepLimit reports a program exceeding its step budget.
+var ErrStepLimit = errors.New("vm: step limit exceeded")
+
+// ErrBadProgram reports a malformed program (register index or pc out of
+// range) — a VM-usage error, not an architectural trap.
+var ErrBadProgram = errors.New("vm: malformed program")
+
+// Machine is one running program's state.
+type Machine struct {
+	sys   *core.System
+	cregs [NumRegs]cap.Capability
+	xregs [NumRegs]uint64
+	pc    int
+	steps uint64
+}
+
+// New returns a machine over sys with all registers zeroed. The capability
+// register file is registered with the runtime as sweep roots, so
+// revocation revokes in-flight registers (§3.3).
+func New(sys *core.System) *Machine {
+	m := &Machine{sys: sys}
+	for i := range m.cregs {
+		sys.AddRoot(&m.cregs[i])
+	}
+	return m
+}
+
+// Close unregisters the register file from the runtime; the machine must
+// not run afterwards.
+func (m *Machine) Close() {
+	for i := range m.cregs {
+		m.sys.RemoveRoot(&m.cregs[i])
+	}
+}
+
+// C returns capability register i (for test assertions).
+func (m *Machine) C(i int) cap.Capability { return m.cregs[i] }
+
+// X returns integer register i.
+func (m *Machine) X(i int) uint64 { return m.xregs[i] }
+
+// Steps returns the number of instructions executed.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+func regOK(i int) bool { return i >= 0 && i < NumRegs }
+
+// Run executes the program until OpHalt, a trap, or maxSteps instructions.
+// It returns nil on a clean halt; a *Trap wrapping the architectural cause
+// when the program faults; ErrStepLimit or ErrBadProgram otherwise.
+func (m *Machine) Run(prog []Instr, maxSteps uint64) error {
+	m.pc = 0
+	for m.steps = 0; m.steps < maxSteps; m.steps++ {
+		if m.pc < 0 || m.pc >= len(prog) {
+			return fmt.Errorf("%w: pc %d outside program", ErrBadProgram, m.pc)
+		}
+		in := prog[m.pc]
+		trapErr, vmErr := m.step(in)
+		if vmErr != nil {
+			return vmErr
+		}
+		if trapErr != nil {
+			return &Trap{PC: m.pc, Instr: in, Err: trapErr}
+		}
+		if in.Op == OpHalt {
+			return nil
+		}
+	}
+	return ErrStepLimit
+}
+
+// step executes one instruction, returning an architectural trap cause
+// and/or a VM-usage error. It advances pc itself.
+func (m *Machine) step(in Instr) (trap error, vmErr error) {
+	if !regOK(in.Cd) || !regOK(in.Ca) || !regOK(in.Cb) ||
+		!regOK(in.Xd) || !regOK(in.Xa) || !regOK(in.Xb) {
+		return nil, fmt.Errorf("%w: register out of range at pc %d", ErrBadProgram, m.pc)
+	}
+	next := m.pc + 1
+	switch in.Op {
+	case OpHalt:
+		// handled by Run
+
+	case OpMalloc:
+		c, err := m.sys.Malloc(in.Imm)
+		if err != nil {
+			return err, nil
+		}
+		m.cregs[in.Cd] = c
+
+	case OpFree:
+		if err := m.sys.Free(m.cregs[in.Ca]); err != nil {
+			return err, nil
+		}
+
+	case OpRevoke:
+		if _, err := m.sys.Revoke(); err != nil {
+			return err, nil
+		}
+
+	case OpMovC:
+		m.cregs[in.Cd] = m.cregs[in.Ca]
+
+	case OpIncC:
+		m.cregs[in.Cd] = m.cregs[in.Ca].Inc(int64(m.xregs[in.Xa] + in.Imm))
+
+	case OpSetBounds:
+		c, err := m.cregs[in.Ca].SetBounds(m.cregs[in.Ca].Addr(), in.Imm)
+		if err != nil {
+			return err, nil
+		}
+		m.cregs[in.Cd] = c
+
+	case OpClearPerm:
+		m.cregs[in.Cd] = m.cregs[in.Ca].ClearPerms(cap.Perm(in.Imm))
+
+	case OpMovXI:
+		m.xregs[in.Xd] = in.Imm
+
+	case OpAddX:
+		m.xregs[in.Xd] = m.xregs[in.Xa] + m.xregs[in.Xb] + in.Imm
+
+	case OpLoadW:
+		a := m.cregs[in.Ca]
+		v, err := m.sys.Mem().LoadWord(a, a.Addr()+in.Imm)
+		if err != nil {
+			return err, nil
+		}
+		m.xregs[in.Xd] = v
+
+	case OpStoreW:
+		a := m.cregs[in.Ca]
+		if err := m.sys.Mem().StoreWord(a, a.Addr()+in.Imm, m.xregs[in.Xa]); err != nil {
+			return err, nil
+		}
+
+	case OpLoadC:
+		a := m.cregs[in.Ca]
+		c, err := m.sys.Mem().LoadCap(a, a.Addr()+in.Imm)
+		if err != nil {
+			return err, nil
+		}
+		m.cregs[in.Cd] = c
+
+	case OpStoreC:
+		a := m.cregs[in.Ca]
+		if err := m.sys.Mem().StoreCap(a, a.Addr()+in.Imm, m.cregs[in.Cb]); err != nil {
+			return err, nil
+		}
+
+	case OpTagX:
+		m.xregs[in.Xd] = 0
+		if m.cregs[in.Ca].Tag() {
+			m.xregs[in.Xd] = 1
+		}
+
+	case OpJmp:
+		next = int(in.Imm)
+
+	case OpBnez:
+		if m.xregs[in.Xa] != 0 {
+			next = int(in.Imm)
+		}
+
+	case OpBeqX:
+		if m.xregs[in.Xa] == m.xregs[in.Xb] {
+			next = int(in.Imm)
+		}
+
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode %d at pc %d", ErrBadProgram, in.Op, m.pc)
+	}
+	m.pc = next
+	return nil, nil
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+)
+
+// Trace is a recorded allocation trace: the exact sequence of mallocs,
+// capability plants and frees a workload run performed, in executable form.
+// Traces serve two purposes:
+//
+//   - artifacts: a run can be serialised (JSON) and replayed elsewhere,
+//     reproducing the workload independent of the generator's code;
+//   - controlled comparisons: the *same* trace can be replayed against
+//     differently-configured systems (CHERIvoke vs direct-free vs typed
+//     reuse), eliminating generator divergence from the comparison.
+//
+// Events reference allocations by birth order, so a trace is
+// position-independent: replaying against any allocator layout works.
+type Trace struct {
+	Name   string       `json:"name"`
+	Seed   uint64       `json:"seed"`
+	Events []TraceEvent `json:"events"`
+}
+
+// Event opcodes.
+const (
+	// EvMalloc allocates Size bytes; the allocation's index is the count
+	// of prior EvMalloc events.
+	EvMalloc = byte('m')
+	// EvPlant stores a self-referential capability at byte offset Size
+	// within allocation Ref.
+	EvPlant = byte('p')
+	// EvFree frees allocation Ref.
+	EvFree = byte('f')
+)
+
+// TraceEvent is one step of a trace.
+type TraceEvent struct {
+	Op   byte   `json:"op"`
+	Size uint64 `json:"size,omitempty"` // malloc size, or plant offset
+	Ref  int    `json:"ref,omitempty"`  // allocation index for plant/free
+}
+
+// WriteJSON serialises the trace.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(tr)
+}
+
+// ReadTraceJSON deserialises a trace.
+func ReadTraceJSON(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	return &tr, nil
+}
+
+// Replay executes the trace against sys and returns the number of events
+// applied. Frees of already-freed allocations are trace corruption and
+// error out.
+func Replay(sys *core.System, tr *Trace) (int, error) {
+	caps := make([]cap.Capability, 0, len(tr.Events)/2)
+	for i, ev := range tr.Events {
+		switch ev.Op {
+		case EvMalloc:
+			c, err := sys.Malloc(ev.Size)
+			if err != nil {
+				return i, fmt.Errorf("workload: replay event %d: %w", i, err)
+			}
+			caps = append(caps, c)
+		case EvPlant:
+			if ev.Ref < 0 || ev.Ref >= len(caps) {
+				return i, fmt.Errorf("workload: replay event %d: bad ref %d", i, ev.Ref)
+			}
+			c := caps[ev.Ref]
+			if err := sys.Mem().StoreCap(c, c.Base()+ev.Size, c.SetAddr(c.Base()+ev.Size)); err != nil {
+				return i, fmt.Errorf("workload: replay event %d: %w", i, err)
+			}
+		case EvFree:
+			if ev.Ref < 0 || ev.Ref >= len(caps) {
+				return i, fmt.Errorf("workload: replay event %d: bad ref %d", i, ev.Ref)
+			}
+			if err := sys.FreeAddr(caps[ev.Ref].Base()); err != nil {
+				return i, fmt.Errorf("workload: replay event %d: %w", i, err)
+			}
+		default:
+			return i, fmt.Errorf("workload: replay event %d: unknown op %q", i, ev.Op)
+		}
+	}
+	return len(tr.Events), nil
+}
+
+// recorder accumulates trace events during a Run; nil-safe.
+type recorder struct {
+	tr   *Trace
+	next int // next allocation index
+}
+
+func (r *recorder) malloc(size uint64) int {
+	if r == nil || r.tr == nil {
+		return -1
+	}
+	idx := r.next
+	r.next++
+	r.tr.Events = append(r.tr.Events, TraceEvent{Op: EvMalloc, Size: size})
+	return idx
+}
+
+func (r *recorder) plant(ref int, off uint64) {
+	if r == nil || r.tr == nil {
+		return
+	}
+	r.tr.Events = append(r.tr.Events, TraceEvent{Op: EvPlant, Size: off, Ref: ref})
+}
+
+func (r *recorder) free(ref int) {
+	if r == nil || r.tr == nil || ref < 0 {
+		return
+	}
+	r.tr.Events = append(r.tr.Events, TraceEvent{Op: EvFree, Ref: ref})
+}

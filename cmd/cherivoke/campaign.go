@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/server"
+)
+
+// serveCmd runs the campaign HTTP service.
+//
+//	cherivoke serve [-addr :8080] [-workers N]
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "default campaign worker-pool width (0 = GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(server.Options{Workers: *workers}).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("cherivoke campaign service listening on %s\n", *addr)
+	fmt.Printf("  POST /campaigns, GET /campaigns/{id}, GET /campaigns/{id}/results, GET /healthz\n")
+	return srv.ListenAndServe()
+}
+
+// campaignCmd runs one campaign locally on the worker pool and writes its
+// artifacts.
+//
+//	cherivoke campaign [-workers N] [-o results.json] [-csv results.csv] [spec.json]
+//
+// Without a spec file it runs the default campaign: every profile under the
+// paper-default CHERIvoke configuration.
+func campaignCmd(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS); never changes results")
+	jsonOut := fs.String("o", "", "write the JSON artifact to this file (default: summary only)")
+	csvOut := fs.String("csv", "", "write the CSV artifact to this file")
+	quiet := fs.Bool("q", false, "suppress per-job progress on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cherivoke campaign [-workers N] [-o out.json] [-csv out.csv] [spec.json]")
+		fmt.Fprintln(os.Stderr, "runs the default all-profiles campaign when no spec file is given")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec campaign.Spec
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		dec := json.NewDecoder(f)
+		dec.DisallowUnknownFields()
+		err = dec.Decode(&spec)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parsing spec %s: %w", fs.Arg(0), err)
+		}
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := campaign.RunOptions{Workers: *workers}
+	if !*quiet {
+		opts.OnProgress = func(p campaign.Progress) {
+			status := fmt.Sprintf("runtime %.3f", p.Runtime)
+			if p.Error != "" {
+				status = "ERROR " + p.Error
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] job %d %s/%s: %s\n",
+				p.Done, p.Total, p.JobID, p.Profile, p.Variant, status)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d jobs\n", len(jobs))
+	start := time.Now()
+	res, err := campaign.Run(ctx, spec, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *jsonOut != "" {
+		if err := writeArtifact(*jsonOut, res.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if *csvOut != "" {
+		if err := writeArtifact(*csvOut, res.WriteCSV); err != nil {
+			return err
+		}
+	}
+
+	s := res.Summary
+	fmt.Printf("campaign done: %d jobs (%d failed) in %s\n", s.Jobs, s.Failed, elapsed.Round(time.Millisecond))
+	fmt.Printf("  geomean runtime %.3f, max %.3f\n", s.GeomeanRuntime, s.MaxRuntime)
+	fmt.Printf("  %d sweeps, %d capabilities revoked, %d frees\n", s.TotalSweeps, s.TotalCapsRevoked, s.TotalFrees)
+	return res.FirstError()
+}
+
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	cherivoke [-quick] [-seed N] [table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|ablations|invariance|all]
+//	cherivoke [-quick] [-seed N] [-workers N] [table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|ablations|invariance|all]
 //	cherivoke [-quick] trace <benchmark> <file.json>   # record a workload trace
 //	cherivoke replay <file.json>                       # replay it under both allocators
+//	cherivoke campaign [-workers N] [-o out.json] [-csv out.csv] [spec.json]
+//	cherivoke serve [-addr :8080] [-workers N]         # campaign HTTP service
 //
 // Output is textual: each figure prints the same rows/series the paper
-// plots. Everything is deterministic for a given seed.
+// plots. Everything is deterministic for a given seed: figure sweeps run as
+// concurrent campaigns (internal/campaign) whose results are independent of
+// the worker count.
 package main
 
 import (
@@ -26,12 +30,32 @@ import (
 )
 
 func main() {
+	// Subcommands with their own flag sets dispatch before the global
+	// figure flags.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			if err := serveCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "campaign":
+			if err := campaignCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
+
 	quick := flag.Bool("quick", false, "reduced-scale run (seconds instead of minutes)")
 	seed := flag.Uint64("seed", 0, "workload generator seed (0 = default)")
+	workers := flag.Int("workers", 0, "campaign worker-pool width (0 = GOMAXPROCS); never changes results")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cherivoke [-quick] [-seed N] [table1|table2|fig5..fig10|ablations|invariance|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: cherivoke [-quick] [-seed N] [-workers N] [table1|table2|fig5..fig10|ablations|invariance|all]\n")
 		fmt.Fprintf(os.Stderr, "       cherivoke [-quick] trace <benchmark> <file.json>\n")
 		fmt.Fprintf(os.Stderr, "       cherivoke replay <file.json>\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke campaign [-workers N] [-o out.json] [-csv out.csv] [spec.json]\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke serve [-addr :8080] [-workers N]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,6 +67,7 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	opts.Workers = *workers
 
 	what := "all"
 	if flag.NArg() > 0 {

@@ -1,0 +1,71 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteJSON serialises the full result (spec, per-job rows, summary) as
+// indented JSON. The output is deterministic: same spec and seeds produce
+// byte-identical artifacts regardless of worker count.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader is the fixed column set of the per-job CSV artifact.
+var csvHeader = []string{
+	"id", "profile", "variant", "fraction", "seed", "max_live_bytes",
+	"quarantine_only", "plus_shadow", "plus_sweep", "memory_overhead",
+	"sweeps", "caps_revoked", "mallocs", "frees", "freed_bytes",
+	"app_seconds", "measured_page_density", "measured_line_density",
+	"measured_free_rate_mib", "measured_frees_per_sec",
+	"peak_footprint", "heap_bytes", "sweep_traffic_bytes", "error",
+}
+
+// WriteCSV emits one row per job with the fixed csvHeader columns, in job
+// order. Like WriteJSON, the output is worker-count independent.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, j := range r.Jobs {
+		row := []string{
+			strconv.Itoa(j.Job.ID),
+			j.Job.Profile,
+			j.Job.Variant.Name,
+			ftoa(j.Job.Fraction),
+			strconv.FormatUint(j.Job.Seed, 10),
+			strconv.FormatUint(j.Job.MaxLiveBytes, 10),
+			ftoa(j.QuarantineOnly),
+			ftoa(j.PlusShadow),
+			ftoa(j.PlusSweep),
+			ftoa(j.MemoryOverhead),
+			strconv.FormatUint(j.Stats.Sweeps, 10),
+			strconv.FormatUint(j.Stats.CapsRevoked, 10),
+			strconv.FormatUint(j.Mallocs, 10),
+			strconv.FormatUint(j.Frees, 10),
+			strconv.FormatUint(j.FreedBytes, 10),
+			ftoa(j.AppSeconds),
+			ftoa(j.MeasuredPageDensity),
+			ftoa(j.MeasuredLineDensity),
+			ftoa(j.MeasuredFreeRateMiB),
+			ftoa(j.MeasuredFreesPerSec),
+			strconv.FormatUint(j.PeakFootprint, 10),
+			strconv.FormatUint(j.HeapBytes, 10),
+			strconv.FormatUint(j.SweepTrafficBytes, 10),
+			j.Error,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

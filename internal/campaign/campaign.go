@@ -1,0 +1,211 @@
+// Package campaign is the experiment-campaign orchestrator: it expands a
+// declarative parameter-sweep specification (workload profiles × system
+// variants × quarantine fractions × heap scales × seeds) into an ordered
+// list of jobs, runs them on a bounded worker pool — one isolated
+// core.System per job — and aggregates the per-job results into artifacts
+// (JSON/CSV) and summary statistics.
+//
+// Determinism is the contract: job expansion order is fixed, every job is
+// self-seeded and shares no state with its siblings, and results are
+// aggregated by job ID, so a campaign's output is byte-identical whether it
+// runs on one worker or many. The worker pool only changes wall-clock time.
+//
+// internal/experiments builds every figure and table sweep of the paper's
+// evaluation on top of this package, and internal/server exposes it over
+// HTTP.
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/revoke"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Default axis values used when a Spec leaves them empty.
+const (
+	DefaultSeed               = uint64(0xC0FFEE)
+	DefaultFraction           = 0.25
+	DefaultMaxLiveBytes       = uint64(24 << 20)
+	DefaultQuarantineMinBytes = uint64(64 << 10)
+)
+
+// Variant names one system configuration under test: the revocation sweep
+// setup plus the core-level deployment switches of the paper's §8
+// extensions.
+type Variant struct {
+	Name   string        `json:"name"`
+	Revoke revoke.Config `json:"revoke"`
+
+	// DirectFree disables CHERIvoke entirely (the insecure baseline).
+	DirectFree bool `json:"direct_free,omitempty"`
+	// ConcurrentSweep runs sweeps on spare cores (§3.5).
+	ConcurrentSweep bool `json:"concurrent_sweep,omitempty"`
+	// UnmapLarge unmaps whole-page frees instead of quarantining (§8).
+	UnmapLarge bool `json:"unmap_large,omitempty"`
+	// TypedReuse enables Cling-style type-stable reuse in the allocator.
+	TypedReuse bool `json:"typed_reuse,omitempty"`
+}
+
+// PaperVariant is the paper's x86 evaluation configuration (§5.3): AVX2
+// sweep kernel, PTE CapDirty page elimination with laundering, no CLoadTags.
+func PaperVariant() Variant {
+	return Variant{
+		Name: "cherivoke",
+		Revoke: revoke.Config{
+			Kernel:      sim.KernelVector,
+			UseCapDirty: true,
+			Launder:     true,
+		},
+	}
+}
+
+// DirectFreeVariant is the insecure direct-free baseline.
+func DirectFreeVariant() Variant {
+	return Variant{Name: "direct-free", DirectFree: true}
+}
+
+// Spec declares a campaign: the cartesian product of its axes becomes the
+// job list. Empty axes default to the paper's single-point defaults, so the
+// zero Spec is the full default CHERIvoke run over all 17 profiles.
+type Spec struct {
+	Name string `json:"name,omitempty"`
+
+	// Axes. Jobs are expanded profile-major, seed-minor, in the order
+	// given here: profile × variant × fraction × max-live × seed.
+	Profiles  []string  `json:"profiles,omitempty"`  // empty = all 17 profiles
+	Variants  []Variant `json:"variants,omitempty"`  // empty = {PaperVariant}
+	Fractions []float64 `json:"fractions,omitempty"` // empty = {0.25}
+	MaxLive   []uint64  `json:"max_live,omitempty"`  // empty = {24 MiB}
+	Seeds     []uint64  `json:"seeds,omitempty"`     // empty = {0xC0FFEE}
+
+	// Per-job workload options.
+	MinSweeps          int    `json:"min_sweeps,omitempty"`           // 0 = runner default
+	MaxEvents          int    `json:"max_events,omitempty"`           // 0 = runner default
+	QuarantineMinBytes uint64 `json:"quarantine_min_bytes,omitempty"` // 0 = 64 KiB
+
+	// ScaledStartup shrinks the x86 machine's fixed per-sweep startup by
+	// each workload's heap scale factor, as the figure experiments do
+	// (scaled-down heaps sweep proportionally more often).
+	ScaledStartup bool `json:"scaled_startup,omitempty"`
+
+	// Baseline additionally runs, per job, a matched direct-free run
+	// (same seed, event volume bounded to the job's frees) and records
+	// its peak footprint for memory-overhead normalisation (Figure 5b).
+	Baseline bool `json:"baseline,omitempty"`
+
+	// SweepImageSelf re-sweeps each job's final heap image
+	// non-destructively with the job's own revoke configuration and
+	// records the sweep stats (the ablation experiments' measurement).
+	SweepImageSelf bool `json:"sweep_image_self,omitempty"`
+
+	// ImageSweeps re-sweeps each job's final heap image once per listed
+	// configuration (Figure 7 measures the same image under each kernel).
+	// Laundering configurations mutate page CapDirty state and would
+	// perturb the sweeps after them, so Jobs rejects them here; the
+	// variant's own laundering config is fine (SweepImageSelf runs after
+	// all ImageSweeps).
+	ImageSweeps []revoke.Config `json:"image_sweeps,omitempty"`
+}
+
+// withDefaults resolves empty axes. It is idempotent; Run normalises the
+// Spec once so the Result always embeds the resolved form.
+func (s Spec) withDefaults() Spec {
+	if len(s.Profiles) == 0 {
+		s.Profiles = workload.Names(workload.All())
+	}
+	if len(s.Variants) == 0 {
+		s.Variants = []Variant{PaperVariant()}
+	}
+	for i := range s.Variants {
+		if s.Variants[i].Name == "" {
+			s.Variants[i].Name = fmt.Sprintf("variant%d", i)
+		}
+	}
+	if len(s.Fractions) == 0 {
+		s.Fractions = []float64{DefaultFraction}
+	}
+	if len(s.MaxLive) == 0 {
+		s.MaxLive = []uint64{DefaultMaxLiveBytes}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint64{DefaultSeed}
+	}
+	if s.QuarantineMinBytes == 0 {
+		s.QuarantineMinBytes = DefaultQuarantineMinBytes
+	}
+	return s
+}
+
+// Validate checks the spec without expanding it.
+func (s Spec) Validate() error {
+	_, err := s.Jobs()
+	return err
+}
+
+// Job is one fully-resolved unit of work: a single workload replay against
+// a single system configuration.
+type Job struct {
+	ID           int     `json:"id"`
+	Profile      string  `json:"profile"`
+	Variant      Variant `json:"variant"`
+	Fraction     float64 `json:"fraction"`
+	Seed         uint64  `json:"seed"`
+	MaxLiveBytes uint64  `json:"max_live_bytes"`
+
+	MinSweeps          int    `json:"min_sweeps,omitempty"`
+	MaxEvents          int    `json:"max_events,omitempty"`
+	QuarantineMinBytes uint64 `json:"quarantine_min_bytes"`
+	ScaledStartup      bool   `json:"scaled_startup,omitempty"`
+	Baseline           bool   `json:"baseline,omitempty"`
+}
+
+// Jobs expands the spec into its deterministic job list. Axis order is
+// fixed: profile outermost, then variant, fraction, max-live, seed.
+func (s Spec) Jobs() ([]Job, error) {
+	s = s.withDefaults()
+	for _, name := range s.Profiles {
+		if _, ok := workload.ByName(name); !ok {
+			return nil, fmt.Errorf("campaign: unknown profile %q", name)
+		}
+	}
+	for _, f := range s.Fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("campaign: non-positive quarantine fraction %v", f)
+		}
+	}
+	for i, cfg := range s.ImageSweeps {
+		if cfg.Launder {
+			return nil, fmt.Errorf("campaign: image sweep %d launders CapDirty state, which would perturb the sweeps after it", i)
+		}
+	}
+	var jobs []Job
+	for _, p := range s.Profiles {
+		for _, v := range s.Variants {
+			for _, f := range s.Fractions {
+				for _, live := range s.MaxLive {
+					for _, seed := range s.Seeds {
+						jobs = append(jobs, Job{
+							ID:                 len(jobs),
+							Profile:            p,
+							Variant:            v,
+							Fraction:           f,
+							Seed:               seed,
+							MaxLiveBytes:       live,
+							MinSweeps:          s.MinSweeps,
+							MaxEvents:          s.MaxEvents,
+							QuarantineMinBytes: s.QuarantineMinBytes,
+							ScaledStartup:      s.ScaledStartup,
+							Baseline:           s.Baseline,
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("campaign: spec expands to zero jobs")
+	}
+	return jobs, nil
+}

@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// JobResult carries everything the figure and table aggregations need from
+// one job, as plain serialisable values: the live *core.System never leaves
+// the job.
+type JobResult struct {
+	Job   Job    `json:"job"`
+	Error string `json:"error,omitempty"`
+
+	// Run volume.
+	AppSeconds float64 `json:"app_seconds"`
+	Mallocs    uint64  `json:"mallocs"`
+	Frees      uint64  `json:"frees"`
+	FreedBytes uint64  `json:"freed_bytes"`
+	Scale      float64 `json:"scale"`
+
+	// Measured Table 2 quantities (per-sweep averages).
+	MeasuredPageDensity float64 `json:"measured_page_density"`
+	MeasuredLineDensity float64 `json:"measured_line_density"`
+	MeasuredFreeRateMiB float64 `json:"measured_free_rate_mib"`
+	MeasuredFreesPerSec float64 `json:"measured_frees_per_sec"`
+
+	// Final heap-image densities (Figure 8a's core-dump measurement).
+	FinalPageDensity float64 `json:"final_page_density"`
+	FinalLineDensity float64 `json:"final_line_density"`
+
+	// Footprint and heap geometry.
+	PeakFootprint uint64 `json:"peak_footprint"`
+	HeapBytes     uint64 `json:"heap_bytes"`
+	LiveBytes     uint64 `json:"live_bytes"`
+
+	// System activity and simulated-time decomposition.
+	Stats              core.Stats `json:"stats"`
+	CacheEffectSeconds float64    `json:"cache_effect_seconds"`
+	SweepTrafficBytes  uint64     `json:"sweep_traffic_bytes"`
+
+	// Figure 6 cumulative bars (normalised execution time).
+	QuarantineOnly float64 `json:"quarantine_only"`
+	PlusShadow     float64 `json:"plus_shadow"`
+	PlusSweep      float64 `json:"plus_sweep"`
+
+	// Matched direct-free comparison (Spec.Baseline).
+	BaselinePeakFootprint uint64  `json:"baseline_peak_footprint,omitempty"`
+	MemoryOverhead        float64 `json:"memory_overhead,omitempty"`
+
+	// Post-run image sweeps.
+	ImageSweepSelf *revoke.Stats  `json:"image_sweep_self,omitempty"`
+	ImageSweeps    []revoke.Stats `json:"image_sweeps,omitempty"`
+}
+
+// Runtime returns the job's normalised execution time (the full CHERIvoke
+// overhead bar).
+func (r JobResult) Runtime() float64 { return r.PlusSweep }
+
+// failed returns a JobResult carrying only the error.
+func failed(job Job, err error) JobResult {
+	return JobResult{Job: job, Error: err.Error()}
+}
+
+// runJob executes one job in isolation: it builds a fresh system from the
+// job's parameters, replays the workload, and measures everything the
+// aggregations need. It shares no state with other jobs.
+func runJob(spec Spec, job Job) JobResult {
+	p, ok := workload.ByName(job.Profile)
+	if !ok {
+		return failed(job, fmt.Errorf("campaign: unknown profile %q", job.Profile))
+	}
+	wopts := workload.Options{
+		Seed:         job.Seed,
+		MaxLiveBytes: job.MaxLiveBytes,
+		MinSweeps:    job.MinSweeps,
+		MaxEvents:    job.MaxEvents,
+	}
+	cfg := core.Config{
+		Policy:          quarantine.Policy{Fraction: job.Fraction, MinBytes: job.QuarantineMinBytes},
+		Revoke:          job.Variant.Revoke,
+		DirectFree:      job.Variant.DirectFree,
+		ConcurrentSweep: job.Variant.ConcurrentSweep,
+		UnmapLarge:      job.Variant.UnmapLarge,
+		Alloc:           alloc.Options{TypedReuse: job.Variant.TypedReuse},
+	}
+	if job.ScaledStartup {
+		m := sim.X86()
+		m.SweepStartup *= workload.Scale(p, wopts)
+		cfg.Machine = m
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return failed(job, err)
+	}
+	res, err := workload.Run(sys, p, wopts)
+	if err != nil {
+		return failed(job, err)
+	}
+
+	jr := JobResult{
+		Job:                 job,
+		AppSeconds:          res.AppSeconds,
+		Mallocs:             res.Mallocs,
+		Frees:               res.Frees,
+		FreedBytes:          res.FreedBytes,
+		Scale:               res.Scale,
+		MeasuredPageDensity: res.MeasuredPageDensity,
+		MeasuredLineDensity: res.MeasuredLineDensity,
+		MeasuredFreeRateMiB: res.MeasuredFreeRateMiB,
+		MeasuredFreesPerSec: res.MeasuredFreesPerSec,
+		PeakFootprint:       res.PeakFootprint,
+		HeapBytes:           sys.HeapBytes(),
+		LiveBytes:           sys.LiveBytes(),
+		Stats:               sys.Stats(),
+		CacheEffectSeconds:  res.CacheEffectSeconds,
+	}
+	jr.FinalPageDensity, jr.FinalLineDensity = sys.Mem().Density()
+	for _, rep := range sys.Reports() {
+		jr.SweepTrafficBytes += rep.Sweep.BytesRead + rep.Sweep.BytesWritten
+	}
+	jr.QuarantineOnly, jr.PlusShadow, jr.PlusSweep = decompose(jr.Stats, res)
+
+	if job.Baseline && !job.Variant.DirectFree {
+		if err := runBaseline(&jr, p, job); err != nil {
+			return failed(job, err)
+		}
+	}
+
+	// Post-run image sweeps: the shadow map is empty after the last
+	// drain, so nothing is revoked and the heap image is unchanged.
+	// The launder-free ImageSweeps (enforced by Jobs) run first; the
+	// self-sweep runs last because a laundering variant configuration
+	// clears CapDirty bits on capability-free pages, which would skew
+	// any CapDirty-guided sweep after it.
+	for _, cfg := range spec.ImageSweeps {
+		st, err := revoke.New(sys.Mem(), sys.Shadow(), cfg).Sweep(nil)
+		if err != nil {
+			return failed(job, err)
+		}
+		jr.ImageSweeps = append(jr.ImageSweeps, st)
+	}
+	if spec.SweepImageSelf {
+		st, err := revoke.New(sys.Mem(), sys.Shadow(), job.Variant.Revoke).Sweep(nil)
+		if err != nil {
+			return failed(job, err)
+		}
+		jr.ImageSweepSelf = &st
+	}
+	return jr
+}
+
+// decompose computes the Figure 6 cumulative bars from a run: quarantine
+// only (including the cache effect), plus shadow-map maintenance, plus
+// sweeping — each normalised to the simulated application time.
+func decompose(st core.Stats, res workload.Result) (quarOnly, plusShadow, plusSweep float64) {
+	t := res.AppSeconds
+	quarDelta := (st.QuarantineSeconds - st.BaselineFreeCost + res.CacheEffectSeconds) / t
+	shadowDelta := st.ShadowSeconds / t
+	sweepDelta := st.SweepSeconds / t
+	return 1 + quarDelta, 1 + quarDelta + shadowDelta, 1 + quarDelta + shadowDelta + sweepDelta
+}
+
+// runBaseline replays the same profile and seed against the insecure
+// direct-free system, bounded to the job's event volume (sweeps never fire
+// in direct mode, so the free count is the only terminator), and records
+// the memory-overhead normalisation.
+func runBaseline(jr *JobResult, p workload.Profile, job Job) error {
+	events := int(jr.Frees)
+	if events == 0 {
+		events = 1
+	}
+	sys, err := core.New(core.Config{DirectFree: true})
+	if err != nil {
+		return err
+	}
+	res, err := workload.Run(sys, p, workload.Options{
+		Seed:         job.Seed,
+		MaxLiveBytes: job.MaxLiveBytes,
+		MinSweeps:    1, // never reached in direct mode
+		MaxEvents:    events,
+	})
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+	jr.BaselinePeakFootprint = res.PeakFootprint
+	jr.MemoryOverhead = 1.0
+	if res.PeakFootprint > 0 && jr.PeakFootprint > 0 {
+		if over := float64(jr.PeakFootprint) / float64(res.PeakFootprint); over > 1 {
+			jr.MemoryOverhead = over
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// RunOptions tunes how a campaign executes. They affect scheduling only;
+// the Result is identical for any worker count.
+type RunOptions struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int
+
+	// OnProgress, when set, is called after each job completes. Calls
+	// are serialised and Done is monotonic, but — by the nature of the
+	// pool — not necessarily in job-ID order.
+	OnProgress func(Progress)
+}
+
+// Progress describes one completed job.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+
+	JobID   int     `json:"job_id"`
+	Profile string  `json:"profile"`
+	Variant string  `json:"variant"`
+	Runtime float64 `json:"runtime"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// Result is a completed campaign: the resolved spec, one JobResult per job
+// in expansion order, and aggregate statistics. It contains no wall-clock
+// values, so serialising it is reproducible run-to-run.
+type Result struct {
+	Spec    Spec        `json:"spec"`
+	Jobs    []JobResult `json:"jobs"`
+	Summary Summary     `json:"summary"`
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Jobs   int `json:"jobs"`
+	Failed int `json:"failed"`
+
+	// GeomeanRuntime and MaxRuntime summarise normalised execution time
+	// over the successful jobs.
+	GeomeanRuntime float64 `json:"geomean_runtime"`
+	MaxRuntime     float64 `json:"max_runtime"`
+
+	TotalSweeps      uint64 `json:"total_sweeps"`
+	TotalCapsRevoked uint64 `json:"total_caps_revoked"`
+	TotalFrees       uint64 `json:"total_frees"`
+}
+
+// FirstError returns the first failed job's error, or nil.
+func (r *Result) FirstError() error {
+	for _, j := range r.Jobs {
+		if j.Error != "" {
+			return fmt.Errorf("campaign: job %d (%s/%s): %s",
+				j.Job.ID, j.Job.Profile, j.Job.Variant.Name, j.Error)
+		}
+	}
+	return nil
+}
+
+// JobsFor returns the results matching the given profile, in job order.
+func (r *Result) JobsFor(profile string) []JobResult {
+	var out []JobResult
+	for _, j := range r.Jobs {
+		if j.Job.Profile == profile {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Run expands spec and executes its jobs on a bounded worker pool. Each job
+// builds its own isolated system, so jobs parallelise freely; results are
+// collected by job ID, making the Result independent of Workers. Run stops
+// dispatching when ctx is cancelled and returns ctx's error.
+func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
+	spec = spec.withDefaults()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]JobResult, len(jobs))
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serialises the done counter and OnProgress
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				jr := runJob(spec, jobs[i])
+				results[i] = jr
+				mu.Lock()
+				done++
+				if opts.OnProgress != nil {
+					opts.OnProgress(Progress{
+						Done:    done,
+						Total:   len(jobs),
+						JobID:   jr.Job.ID,
+						Profile: jr.Job.Profile,
+						Variant: jr.Job.Variant.Name,
+						Runtime: jr.PlusSweep,
+						Error:   jr.Error,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+dispatch:
+	for i := range jobs {
+		select {
+		case jobCh <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Spec: spec, Jobs: results}
+	res.Summary = summarize(results)
+	return res, nil
+}
+
+func summarize(jobs []JobResult) Summary {
+	s := Summary{Jobs: len(jobs)}
+	var runtimes []float64
+	for _, j := range jobs {
+		if j.Error != "" {
+			s.Failed++
+			continue
+		}
+		runtimes = append(runtimes, j.PlusSweep)
+		if j.PlusSweep > s.MaxRuntime {
+			s.MaxRuntime = j.PlusSweep
+		}
+		s.TotalSweeps += j.Stats.Sweeps
+		s.TotalCapsRevoked += j.Stats.CapsRevoked
+		s.TotalFrees += j.Frees
+	}
+	s.GeomeanRuntime = geomean(runtimes)
+	return s
+}
+
+// geomean returns the geometric mean of vals (0 for empty or non-positive
+// input).
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}

@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/alloc"
-	"repro/internal/core"
+	"repro/internal/campaign"
 	"repro/internal/revoke"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // AblationRow is one configuration of a sweep ablation.
@@ -17,6 +15,21 @@ type AblationRow struct {
 	BytesRead  uint64  // data bytes the sweep fetched
 	TagProbes  uint64
 	PagesSwept uint64
+}
+
+// ablationSpec is the ablations' campaign shape: one profile, one sweep per
+// run (the measurement is the post-run image re-sweep, not the run itself),
+// unscaled default machine.
+func ablationSpec(opts Options, profile string, variants []campaign.Variant) campaign.Spec {
+	return campaign.Spec{
+		Profiles:       []string{profile},
+		Variants:       variants,
+		Fractions:      []float64{opts.Fraction},
+		MaxLive:        []uint64{opts.MaxLiveBytes},
+		Seeds:          []uint64{opts.Seed},
+		MinSweeps:      1,
+		SweepImageSelf: true,
+	}
 }
 
 // AblationAssists sweeps one workload's heap image under the four
@@ -29,28 +42,23 @@ type AblationRow struct {
 // lines save, the paper's "can even lower performance" case.
 func AblationAssists(opts Options, workloadName string) ([]AblationRow, error) {
 	machine := sim.CHERIFPGA()
-	cases := []struct {
-		name string
-		cfg  revoke.Config
-	}{
-		{"no assists", revoke.Config{}},
-		{"PTE CapDirty", revoke.Config{UseCapDirty: true}},
-		{"CLoadTags", revoke.Config{UseCLoadTags: true}},
-		{"both", revoke.Config{UseCapDirty: true, UseCLoadTags: true}},
+	variants := []campaign.Variant{
+		{Name: "no assists"},
+		{Name: "PTE CapDirty", Revoke: revoke.Config{UseCapDirty: true}},
+		{Name: "CLoadTags", Revoke: revoke.Config{UseCLoadTags: true}},
+		{Name: "both", Revoke: revoke.Config{UseCapDirty: true, UseCLoadTags: true}},
 	}
-	var out []AblationRow
-	for _, c := range cases {
-		res, err := populatedRun(opts, core.Config{Revoke: c.cfg}, workloadName)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", c.name, err)
-		}
-		st, err := revoke.New(res.Sys.Mem(), res.Sys.Shadow(), c.cfg).Sweep(nil)
-		if err != nil {
-			return nil, err
-		}
+	res, err := opts.run(ablationSpec(opts, workloadName, variants))
+	if err != nil {
+		return nil, fmt.Errorf("ablation %s: %w", workloadName, err)
+	}
+	out := make([]AblationRow, 0, len(res.Jobs))
+	for _, jr := range res.Jobs {
+		st := jr.ImageSweepSelf
+		cfg := jr.Job.Variant.Revoke
 		out = append(out, AblationRow{
-			Name:       c.name,
-			SimMicros:  machine.SweepTime(c.cfg.Kernel.Costs(), st.Work(1)) * 1e6,
+			Name:       jr.Job.Variant.Name,
+			SimMicros:  machine.SweepTime(cfg.Kernel.Costs(), st.Work(1)) * 1e6,
 			BytesRead:  st.BytesRead,
 			TagProbes:  st.TagProbes,
 			PagesSwept: st.PagesSwept,
@@ -62,42 +70,29 @@ func AblationAssists(opts Options, workloadName string) ([]AblationRow, error) {
 // AblationParallel sweeps the same heap with 1–8 shards (§3.5).
 func AblationParallel(opts Options) ([]AblationRow, error) {
 	machine := sim.X86()
-	var out []AblationRow
+	var variants []campaign.Variant
 	for _, shards := range []int{1, 2, 4, 8} {
-		cfg := revoke.Config{UseCapDirty: true, Shards: shards}
-		res, err := populatedRun(opts, core.Config{Revoke: cfg}, "omnetpp")
-		if err != nil {
-			return nil, err
-		}
-		st, err := revoke.New(res.Sys.Mem(), res.Sys.Shadow(), cfg).Sweep(nil)
-		if err != nil {
-			return nil, err
-		}
+		variants = append(variants, campaign.Variant{
+			Name:   fmt.Sprintf("%d shard(s)", shards),
+			Revoke: revoke.Config{UseCapDirty: true, Shards: shards},
+		})
+	}
+	res, err := opts.run(ablationSpec(opts, "omnetpp", variants))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationRow, 0, len(res.Jobs))
+	for _, jr := range res.Jobs {
+		st := jr.ImageSweepSelf
+		cfg := jr.Job.Variant.Revoke
 		out = append(out, AblationRow{
-			Name:       fmt.Sprintf("%d shard(s)", shards),
-			SimMicros:  machine.SweepTime(cfg.Kernel.Costs(), st.Work(shards)) * 1e6,
+			Name:       jr.Job.Variant.Name,
+			SimMicros:  machine.SweepTime(cfg.Kernel.Costs(), st.Work(cfg.Shards)) * 1e6,
 			BytesRead:  st.BytesRead,
 			PagesSwept: st.PagesSwept,
 		})
 	}
 	return out, nil
-}
-
-func populatedRun(opts Options, cfg core.Config, name string) (workload.Result, error) {
-	cfg.Policy = policy(opts)
-	sys, err := core.New(cfg)
-	if err != nil {
-		return workload.Result{}, err
-	}
-	p, ok := workload.ByName(name)
-	if !ok {
-		return workload.Result{}, fmt.Errorf("experiments: unknown workload %q", name)
-	}
-	return workload.Run(sys, p, workload.Options{
-		Seed:         opts.Seed,
-		MaxLiveBytes: opts.MaxLiveBytes,
-		MinSweeps:    1,
-	})
 }
 
 // ExtensionRow compares one deployment variant end to end.
@@ -113,58 +108,61 @@ type ExtensionRow struct {
 // Extensions evaluates the paper's §8 extension directions on the
 // worst-case workload (xalancbmk): stop-the-world CHERIvoke, concurrent
 // sweeping (§3.5), page-granularity unmapping for large frees (Oscar-style),
-// Cling-style typed reuse alone, and the insecure baseline.
+// Cling-style typed reuse alone, and the insecure baseline. The sweeping
+// variants run as one campaign; the non-sweeping variants run as a second
+// whose event volume is bounded to the stop-the-world run's (sweeps never
+// fire there, so nothing else terminates them).
 func Extensions(opts Options) ([]ExtensionRow, error) {
-	p, _ := workload.ByName("xalancbmk")
-	variants := []struct {
-		name   string
-		cfg    core.Config
+	type extVariant struct {
+		v      campaign.Variant
 		safety string
-	}{
-		{"CHERIvoke (stop-the-world)", core.Config{Revoke: paperRevokeConfig()},
+	}
+	sweeping := []extVariant{
+		{campaign.Variant{Name: "CHERIvoke (stop-the-world)", Revoke: paperRevokeConfig()},
 			"full heap temporal safety"},
-		{"CHERIvoke + concurrent sweep", core.Config{Revoke: paperRevokeConfig(), ConcurrentSweep: true},
+		{campaign.Variant{Name: "CHERIvoke + concurrent sweep", Revoke: paperRevokeConfig(), ConcurrentSweep: true},
 			"full heap temporal safety"},
-		{"CHERIvoke + unmap large frees", core.Config{Revoke: paperRevokeConfig(), UnmapLarge: true},
+		{campaign.Variant{Name: "CHERIvoke + unmap large frees", Revoke: paperRevokeConfig(), UnmapLarge: true},
 			"full heap temporal safety"},
-		{"Cling-style typed reuse only", core.Config{DirectFree: true, Alloc: alloc.Options{TypedReuse: true}},
+	}
+	direct := []extVariant{
+		{campaign.Variant{Name: "Cling-style typed reuse only", DirectFree: true, TypedReuse: true},
 			"partial: same-class confusion remains"},
-		{"insecure direct free", core.Config{DirectFree: true},
+		{campaign.Variant{Name: "insecure direct free", DirectFree: true},
 			"none"},
 	}
-	var out []ExtensionRow
-	var events int
-	for _, v := range variants {
-		v.cfg.Policy = policy(opts)
-		v.cfg.Machine = scaledMachine(p, opts)
-		sys, err := core.New(v.cfg)
-		if err != nil {
-			return nil, err
+	variantsOf := func(evs []extVariant) []campaign.Variant {
+		out := make([]campaign.Variant, len(evs))
+		for i, ev := range evs {
+			out[i] = ev.v
 		}
-		wopts := workload.Options{
-			Seed:         opts.Seed,
-			MaxLiveBytes: opts.MaxLiveBytes,
-			MinSweeps:    opts.MinSweeps,
+		return out
+	}
+
+	res, err := opts.run(opts.spec([]string{"xalancbmk"}, variantsOf(sweeping)...))
+	if err != nil {
+		return nil, err
+	}
+	events := int(res.Jobs[0].Frees) // match the stop-the-world run's volume
+	directSpec := opts.spec([]string{"xalancbmk"}, variantsOf(direct)...)
+	directSpec.MaxEvents = events
+	directRes, err := opts.run(directSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	variants := append(sweeping, direct...)
+	jobs := append(res.Jobs, directRes.Jobs...)
+	out := make([]ExtensionRow, len(jobs))
+	for i, jr := range jobs {
+		out[i] = ExtensionRow{
+			Name:        jr.Job.Variant.Name,
+			Runtime:     jr.PlusSweep,
+			Sweeps:      jr.Stats.Sweeps,
+			UnmappedMiB: float64(jr.Stats.UnmappedBytes) / (1 << 20),
+			HeapMiB:     float64(jr.HeapBytes) / (1 << 20),
+			Safety:      variants[i].safety,
 		}
-		if v.cfg.DirectFree {
-			wopts.MaxEvents = events // match the CHERIvoke run's volume
-		}
-		res, err := workload.Run(sys, p, wopts)
-		if err != nil {
-			return nil, fmt.Errorf("extension %s: %w", v.name, err)
-		}
-		if events == 0 {
-			events = int(res.Frees)
-		}
-		d := decompose(res)
-		out = append(out, ExtensionRow{
-			Name:        v.name,
-			Runtime:     d.PlusSweep,
-			Sweeps:      res.Sys.Stats().Sweeps,
-			UnmappedMiB: float64(res.Sys.Stats().UnmappedBytes) / (1 << 20),
-			HeapMiB:     float64(res.Sys.HeapBytes()) / (1 << 20),
-			Safety:      v.safety,
-		})
 	}
 	return out, nil
 }
@@ -178,18 +176,20 @@ type InvariancePoint struct {
 // ScaleInvariance validates the reproduction's central scaling argument
 // (§6.1.3): CHERIvoke's relative overhead is invariant under live-heap
 // scaling, because sweeps shrink and speed up together. It runs xalancbmk
-// at four simulated heap sizes.
+// at four simulated heap sizes — one campaign over the heap-scale axis.
 func ScaleInvariance(opts Options) ([]InvariancePoint, error) {
-	p, _ := workload.ByName("xalancbmk")
-	var out []InvariancePoint
-	for _, live := range []uint64{2 << 20, 4 << 20, 8 << 20, 16 << 20} {
-		o := opts
-		o.MaxLiveBytes = live
-		d, err := Decompose(p, o)
-		if err != nil {
-			return nil, err
+	spec := opts.spec([]string{"xalancbmk"})
+	spec.MaxLive = []uint64{2 << 20, 4 << 20, 8 << 20, 16 << 20}
+	res, err := opts.run(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]InvariancePoint, len(res.Jobs))
+	for i, jr := range res.Jobs {
+		out[i] = InvariancePoint{
+			LiveMiB: float64(jr.Job.MaxLiveBytes) / (1 << 20),
+			Runtime: jr.PlusSweep,
 		}
-		out = append(out, InvariancePoint{LiveMiB: float64(live) / (1 << 20), Runtime: d.PlusSweep})
 	}
 	return out, nil
 }

@@ -4,16 +4,18 @@
 // wraps them in testing.B benchmarks.
 //
 // All experiments are deterministic: seeded workload generation, simulated
-// timing, no wall clocks.
+// timing, no wall clocks. The parameter sweeps behind each figure are
+// expressed as campaign specs and executed by internal/campaign's worker
+// pool, so a full regeneration uses every core while producing exactly the
+// results of a serial run.
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/quarantine"
+	"repro/internal/campaign"
 	"repro/internal/revoke"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -26,6 +28,7 @@ type Options struct {
 	MaxLiveBytes uint64 // simulated live-heap cap per workload
 	MinSweeps    int    // sweeps per workload run
 	Fraction     float64
+	Workers      int // campaign worker-pool width (0 = GOMAXPROCS)
 }
 
 // Default returns the full-scale options (25% quarantine, the paper's
@@ -50,25 +53,35 @@ func paperRevokeConfig() revoke.Config {
 	}
 }
 
-func policy(opts Options) quarantine.Policy {
-	return quarantine.Policy{Fraction: opts.Fraction, MinBytes: 64 << 10}
+// spec builds the figure experiments' standard campaign over the given
+// profiles: paper-default CHERIvoke variant (unless overridden), one
+// fraction/seed/heap-scale point, per-workload scaled sweep startup.
+func (o Options) spec(profiles []string, variants ...campaign.Variant) campaign.Spec {
+	if len(variants) == 0 {
+		variants = []campaign.Variant{campaign.PaperVariant()}
+	}
+	return campaign.Spec{
+		Profiles:      profiles,
+		Variants:      variants,
+		Fractions:     []float64{o.Fraction},
+		MaxLive:       []uint64{o.MaxLiveBytes},
+		Seeds:         []uint64{o.Seed},
+		MinSweeps:     o.MinSweeps,
+		ScaledStartup: true,
+	}
 }
 
-// runCheriVoke replays profile p against a paper-default CHERIvoke system.
-func runCheriVoke(p workload.Profile, opts Options) (workload.Result, error) {
-	sys, err := core.New(core.Config{
-		Policy:  policy(opts),
-		Revoke:  paperRevokeConfig(),
-		Machine: scaledMachine(p, opts),
-	})
+// run executes a campaign with the options' worker pool and fails on the
+// first job error.
+func (o Options) run(spec campaign.Spec) (*campaign.Result, error) {
+	res, err := campaign.Run(context.Background(), spec, campaign.RunOptions{Workers: o.Workers})
 	if err != nil {
-		return workload.Result{}, err
+		return nil, err
 	}
-	return workload.Run(sys, p, workload.Options{
-		Seed:         opts.Seed,
-		MaxLiveBytes: opts.MaxLiveBytes,
-		MinSweeps:    opts.MinSweeps,
-	})
+	if err := res.FirstError(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // scaledMachine returns the x86 machine with its fixed per-sweep startup
@@ -86,25 +99,6 @@ func scaledMachine(p workload.Profile, opts Options) sim.Machine {
 	return m
 }
 
-// runDirect replays p against the insecure direct-free baseline for
-// normalisation, bounded to the same event volume as a prior CHERIvoke run
-// (sweeps never fire in direct mode, so MinSweeps cannot terminate it).
-func runDirect(p workload.Profile, opts Options, events int) (workload.Result, error) {
-	sys, err := core.New(core.Config{DirectFree: true})
-	if err != nil {
-		return workload.Result{}, err
-	}
-	if events == 0 {
-		events = 1
-	}
-	return workload.Run(sys, p, workload.Options{
-		Seed:         opts.Seed,
-		MaxLiveBytes: opts.MaxLiveBytes,
-		MinSweeps:    1, // never reached in direct mode
-		MaxEvents:    events,
-	})
-}
-
 // Decomposition is one workload's normalised execution time, accumulated in
 // Figure 6's order: quarantine only, + shadow map, + sweeping.
 type Decomposition struct {
@@ -114,39 +108,34 @@ type Decomposition struct {
 	PlusSweep      float64
 }
 
+func decompositionOf(jr campaign.JobResult) Decomposition {
+	return Decomposition{
+		Name:           jr.Job.Profile,
+		QuarantineOnly: jr.QuarantineOnly,
+		PlusShadow:     jr.PlusShadow,
+		PlusSweep:      jr.PlusSweep,
+	}
+}
+
 // Decompose computes the Figure 6 bars for one profile.
 func Decompose(p workload.Profile, opts Options) (Decomposition, error) {
-	res, err := runCheriVoke(p, opts)
+	res, err := opts.run(opts.spec([]string{p.Name}))
 	if err != nil {
 		return Decomposition{}, err
 	}
-	return decompose(res), nil
-}
-
-func decompose(res workload.Result) Decomposition {
-	st := res.Sys.Stats()
-	t := res.AppSeconds
-	quarDelta := (st.QuarantineSeconds - st.BaselineFreeCost + res.CacheEffectSeconds) / t
-	shadowDelta := st.ShadowSeconds / t
-	sweepDelta := st.SweepSeconds / t
-	return Decomposition{
-		Name:           res.Profile.Name,
-		QuarantineOnly: 1 + quarDelta,
-		PlusShadow:     1 + quarDelta + shadowDelta,
-		PlusSweep:      1 + quarDelta + shadowDelta + sweepDelta,
-	}
+	return decompositionOf(res.Jobs[0]), nil
 }
 
 // Fig6 regenerates Figure 6: the overhead decomposition for ffmpeg plus the
 // SPEC subset at the default 25% heap overhead.
 func Fig6(opts Options) ([]Decomposition, error) {
-	var out []Decomposition
-	for _, p := range workload.All() {
-		d, err := Decompose(p, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %s: %w", p.Name, err)
-		}
-		out = append(out, d)
+	res, err := opts.run(opts.spec(workload.Names(workload.All())))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Decomposition, len(res.Jobs))
+	for i, jr := range res.Jobs {
+		out[i] = decompositionOf(jr)
 	}
 	return out, nil
 }
@@ -161,29 +150,21 @@ type Fig5Row struct {
 
 // Fig5 regenerates Figure 5 over the SPEC subset: normalised execution time
 // (5a) and memory utilisation (5b) for CHERIvoke (measured on the simulated
-// system) and Oscar/pSweeper/DangSan/Boehm-GC (cost models).
+// system, with a matched direct-free run normalising memory) and
+// Oscar/pSweeper/DangSan/Boehm-GC (cost models).
 func Fig5(opts Options) ([]Fig5Row, error) {
-	var out []Fig5Row
-	for _, p := range workload.SPEC() {
-		cvRes, err := runCheriVoke(p, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
-		}
-		d := decompose(cvRes)
-		dirRes, err := runDirect(p, opts, int(cvRes.Frees))
-		if err != nil {
-			return nil, err
-		}
-		memOver := 1.0
-		if dirRes.PeakFootprint > 0 && cvRes.PeakFootprint > 0 {
-			memOver = float64(cvRes.PeakFootprint) / float64(dirRes.PeakFootprint)
-			if memOver < 1 {
-				memOver = 1
-			}
-		}
+	spec := opts.spec(workload.Names(workload.SPEC()))
+	spec.Baseline = true
+	res, err := opts.run(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig5Row, 0, len(res.Jobs))
+	for _, jr := range res.Jobs {
+		p, _ := workload.ByName(jr.Job.Profile)
 		row := Fig5Row{
-			Name:      p.Name,
-			CheriVoke: baseline.Overheads{Runtime: d.PlusSweep, Memory: memOver},
+			Name:      jr.Job.Profile,
+			CheriVoke: baseline.Overheads{Runtime: jr.PlusSweep, Memory: jr.MemoryOverhead},
 			Schemes:   map[string]baseline.Overheads{},
 		}
 		for _, s := range baseline.All() {

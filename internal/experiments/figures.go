@@ -18,38 +18,50 @@ type Fig7Row struct {
 	Bandwidth map[sim.Kernel]float64 // effective read bandwidth, bytes/s
 }
 
+// fig7Kernels is Figure 7's kernel order; the campaign image-sweeps each
+// job's final heap under every kernel (the vector kernel's unconditional
+// line write-back changes the work summary, so each needs its own sweep).
+var fig7Kernels = []sim.Kernel{sim.KernelSimple, sim.KernelUnrolled, sim.KernelVector}
+
 // Fig7 regenerates Figure 7: the memory bandwidth achieved by the sweep loop
 // with each optimisation level, over the heap images of the
 // allocation-intensive benchmarks. The system's full read bandwidth is the
 // x86 machine's 19,405 MiB/s.
 func Fig7(opts Options) ([]Fig7Row, error) {
-	var out []Fig7Row
+	// Figure 7 keeps only the 13 benchmarks "featuring significant
+	// deallocation": it drops bzip2, lbm, libquantum and sjeng, whose
+	// free traffic or pointer density rounds to zero.
+	var profiles []string
 	for _, p := range workload.All() {
+		if p.AllocIntensive() && p.PageDensity >= 0.03 {
+			profiles = append(profiles, p.Name)
+		}
+	}
+	spec := opts.spec(profiles)
+	for _, k := range fig7Kernels {
+		// Sweep the final heap image non-destructively: the shadow map
+		// is empty after the last drain, so nothing is revoked and all
+		// three kernels see identical state.
+		spec.ImageSweeps = append(spec.ImageSweeps, revoke.Config{
+			Kernel:      k,
+			UseCapDirty: true,
+		})
+	}
+	res, err := opts.run(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Row, 0, len(res.Jobs))
+	for _, jr := range res.Jobs {
+		p, _ := workload.ByName(jr.Job.Profile)
 		machine := scaledMachine(p, opts)
-		// Figure 7 keeps only the 13 benchmarks "featuring significant
-		// deallocation": it drops bzip2, lbm, libquantum and sjeng,
-		// whose free traffic or pointer density rounds to zero.
-		if !p.AllocIntensive() || p.PageDensity < 0.03 {
-			continue
+		row := Fig7Row{Name: jr.Job.Profile, Bandwidth: map[sim.Kernel]float64{}}
+		if len(jr.ImageSweeps) != len(fig7Kernels) {
+			return nil, fmt.Errorf("fig7 %s: %d image sweeps, want %d",
+				jr.Job.Profile, len(jr.ImageSweeps), len(fig7Kernels))
 		}
-		res, err := runCheriVoke(p, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", p.Name, err)
-		}
-		row := Fig7Row{Name: p.Name, Bandwidth: map[sim.Kernel]float64{}}
-		for _, k := range []sim.Kernel{sim.KernelSimple, sim.KernelUnrolled, sim.KernelVector} {
-			// Sweep the final heap image non-destructively: the
-			// shadow map is empty after the last drain, so nothing
-			// is revoked and all three kernels see identical state.
-			s := revoke.New(res.Sys.Mem(), res.Sys.Shadow(), revoke.Config{
-				Kernel:      k,
-				UseCapDirty: true,
-			})
-			st, err := s.Sweep(nil)
-			if err != nil {
-				return nil, err
-			}
-			row.Bandwidth[k] = machine.SweepBandwidth(k.Costs(), st.Work(1))
+		for i, k := range fig7Kernels {
+			row.Bandwidth[k] = machine.SweepBandwidth(k.Costs(), jr.ImageSweeps[i].Work(1))
 		}
 		out = append(out, row)
 	}
@@ -68,14 +80,13 @@ type Fig8aRow struct {
 // per benchmark, at page granularity (PTE CapDirty) and cache-line
 // granularity (CLoadTags), measured from the workload's final heap image.
 func Fig8a(opts Options) ([]Fig8aRow, error) {
-	var out []Fig8aRow
-	for _, p := range workload.All() {
-		res, err := runCheriVoke(p, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig8a %s: %w", p.Name, err)
-		}
-		page, line := workload.MeasureDensity(res.Sys.Mem())
-		out = append(out, Fig8aRow{Name: p.Name, CapDirty: page, Tags: line})
+	res, err := opts.run(opts.spec(workload.Names(workload.All())))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig8aRow, len(res.Jobs))
+	for i, jr := range res.Jobs {
+		out[i] = Fig8aRow{Name: jr.Job.Profile, CapDirty: jr.FinalPageDensity, Tags: jr.FinalLineDensity}
 	}
 	return out, nil
 }
@@ -199,29 +210,33 @@ type Fig9Row struct {
 }
 
 // Fig9 regenerates Figure 9: normalised execution time for the two
-// highest-overhead workloads at varying heap overhead (quarantine fraction).
+// highest-overhead workloads at varying heap overhead — a single campaign
+// over the profile × quarantine-fraction grid.
 func Fig9(opts Options) ([]Fig9Row, error) {
 	fractions := []float64{0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}
-	var out []Fig9Row
-	for _, f := range fractions {
-		o := opts
-		o.Fraction = f
-		row := Fig9Row{HeapOverheadPct: f * 100}
-		for _, name := range []string{"xalancbmk", "omnetpp"} {
-			p, _ := workload.ByName(name)
-			d, err := Decompose(p, o)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s@%.0f%%: %w", name, f*100, err)
+	spec := opts.spec([]string{"xalancbmk", "omnetpp"})
+	spec.Fractions = fractions
+	res, err := opts.run(spec)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9Row, len(fractions))
+	for i, f := range fractions {
+		rows[i].HeapOverheadPct = f * 100
+	}
+	for _, jr := range res.Jobs {
+		for i, f := range fractions {
+			if jr.Job.Fraction != f {
+				continue
 			}
-			if name == "xalancbmk" {
-				row.Xalancbmk = d.PlusSweep
+			if jr.Job.Profile == "xalancbmk" {
+				rows[i].Xalancbmk = jr.PlusSweep
 			} else {
-				row.Omnetpp = d.PlusSweep
+				rows[i].Omnetpp = jr.PlusSweep
 			}
 		}
-		out = append(out, row)
 	}
-	return out, nil
+	return rows, nil
 }
 
 // Fig10Row is one benchmark's off-core traffic overhead (Figure 10, %).
@@ -234,22 +249,19 @@ type Fig10Row struct {
 // sweeping, relative to the application's own traffic over the same
 // simulated interval.
 func Fig10(opts Options) ([]Fig10Row, error) {
-	var out []Fig10Row
-	for _, p := range workload.All() {
-		res, err := runCheriVoke(p, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", p.Name, err)
-		}
-		var sweepBytes uint64
-		for _, rep := range res.Sys.Reports() {
-			sweepBytes += rep.Sweep.BytesRead + rep.Sweep.BytesWritten
-		}
-		appBytes := p.TrafficMiBs * sim.MiB * res.AppSeconds
+	res, err := opts.run(opts.spec(workload.Names(workload.All())))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig10Row, len(res.Jobs))
+	for i, jr := range res.Jobs {
+		p, _ := workload.ByName(jr.Job.Profile)
+		appBytes := p.TrafficMiBs * sim.MiB * jr.AppSeconds
 		pct := 0.0
 		if appBytes > 0 {
-			pct = float64(sweepBytes) / appBytes * 100
+			pct = float64(jr.SweepTrafficBytes) / appBytes * 100
 		}
-		out = append(out, Fig10Row{Name: p.Name, TrafficOverheadPct: pct})
+		out[i] = Fig10Row{Name: jr.Job.Profile, TrafficOverheadPct: pct}
 	}
 	return out, nil
 }

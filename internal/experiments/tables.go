@@ -48,23 +48,25 @@ type Table2Row struct {
 }
 
 // Table2 regenerates Table 2: each profile is replayed on the CHERIvoke
-// system and its deallocation metadata measured from the run.
+// system (one campaign over all profiles) and its deallocation metadata
+// measured from the run.
 func Table2(opts Options) ([]Table2Row, error) {
-	var out []Table2Row
-	for _, p := range workload.All() {
-		res, err := runCheriVoke(p, opts)
-		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", p.Name, err)
-		}
-		out = append(out, Table2Row{
+	res, err := opts.run(opts.spec(workload.Names(workload.All())))
+	if err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
+	}
+	out := make([]Table2Row, len(res.Jobs))
+	for i, jr := range res.Jobs {
+		p, _ := workload.ByName(jr.Job.Profile)
+		out[i] = Table2Row{
 			Name:                p.Name,
 			PaperPageDensity:    p.PageDensity,
-			MeasuredPageDensity: res.MeasuredPageDensity,
+			MeasuredPageDensity: jr.MeasuredPageDensity,
 			PaperFreeRateMiB:    p.FreeRateMiB,
-			MeasuredFreeRateMiB: res.MeasuredFreeRateMiB,
+			MeasuredFreeRateMiB: jr.MeasuredFreeRateMiB,
 			PaperFreesPerSec:    p.FreesPerSec,
-			MeasuredFreesPerSec: res.MeasuredFreesPerSec,
-		})
+			MeasuredFreesPerSec: jr.MeasuredFreesPerSec,
+		}
 	}
 	return out, nil
 }

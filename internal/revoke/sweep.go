@@ -47,8 +47,10 @@ type Config struct {
 
 	// Hierarchy, when non-nil, replays the sweep's accesses through the
 	// cache model for DRAM-traffic accounting (Figure 10). Only applied
-	// for serial sweeps: the cache model is single-threaded.
-	Hierarchy *mem.Hierarchy
+	// for serial sweeps: the cache model is single-threaded. It is
+	// runtime state, not configuration data, and is excluded from
+	// serialised campaign specs.
+	Hierarchy *mem.Hierarchy `json:"-"`
 }
 
 // Stats is the event-count summary of one sweep.

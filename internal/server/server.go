@@ -1,0 +1,412 @@
+// Package server is the HTTP front-end of the campaign subsystem: it
+// accepts campaign specs over POST, runs each campaign asynchronously on
+// internal/campaign's worker pool, streams per-job progress over
+// server-sent events, and serves the aggregated JSON/CSV artifacts.
+//
+//	POST   /campaigns              submit a campaign        -> 202 + id
+//	GET    /campaigns              list campaign statuses
+//	GET    /campaigns/{id}         one campaign's status
+//	GET    /campaigns/{id}/results artifacts (?format=csv)  -> 409 until done
+//	GET    /campaigns/{id}/events  SSE progress stream
+//	DELETE /campaigns/{id}         cancel a running campaign
+//	GET    /healthz                liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the default per-campaign worker-pool width for requests
+	// that do not specify one (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Server owns the campaign registry. All fields are guarded by mu; the
+// campaign runs themselves happen on background goroutines.
+type Server struct {
+	opts Options
+
+	mu        sync.Mutex
+	seq       int
+	campaigns map[string]*campaignState
+	order     []string // insertion order, for stable listings
+}
+
+// States of a campaign's lifecycle.
+const (
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+type campaignState struct {
+	id      string
+	spec    campaign.Spec
+	workers int
+
+	mu         sync.Mutex
+	state      string
+	total      int
+	done       int
+	failed     int
+	errMsg     string
+	result     *campaign.Result
+	created    time.Time
+	finished   time.Time
+	cancel     context.CancelFunc
+	subs       map[chan []byte]struct{}
+	closedSubs bool
+}
+
+// New returns a Server ready to serve campaigns.
+func New(opts Options) *Server {
+	return &Server{opts: opts, campaigns: map[string]*campaignState{}}
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
+	return mux
+}
+
+// SubmitRequest is the POST /campaigns body.
+type SubmitRequest struct {
+	Spec campaign.Spec `json:"spec"`
+	// Workers overrides the server's default pool width for this
+	// campaign. It changes scheduling only, never results.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+	URL  string `json:"url"`
+}
+
+// Status is the externally visible state of one campaign.
+type Status struct {
+	ID         string            `json:"id"`
+	Name       string            `json:"name,omitempty"`
+	State      string            `json:"state"`
+	JobsTotal  int               `json:"jobs_total"`
+	JobsDone   int               `json:"jobs_done"`
+	JobsFailed int               `json:"jobs_failed"`
+	Workers    int               `json:"workers"`
+	Error      string            `json:"error,omitempty"`
+	Created    time.Time         `json:"created"`
+	Finished   *time.Time        `json:"finished,omitempty"`
+	Summary    *campaign.Summary `json:"summary,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	jobs, err := req.Spec.Jobs()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("c%06d", s.seq)
+	st := &campaignState{
+		id:      id,
+		spec:    req.Spec,
+		workers: workers,
+		state:   StateRunning,
+		total:   len(jobs),
+		created: time.Now().UTC(),
+		cancel:  cancel,
+		subs:    map[chan []byte]struct{}{},
+	}
+	s.campaigns[id] = st
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	go st.run(ctx)
+
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, Jobs: len(jobs), URL: "/campaigns/" + id})
+}
+
+// run executes the campaign to completion and broadcasts its progress.
+func (c *campaignState) run(ctx context.Context) {
+	res, err := campaign.Run(ctx, c.spec, campaign.RunOptions{
+		Workers:    c.workers,
+		OnProgress: c.onProgress,
+	})
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finished = time.Now().UTC()
+	switch {
+	case err == nil && res != nil:
+		// A completed campaign keeps its result even if a cancel
+		// raced in after the last job finished.
+		c.result = res
+		if res.Summary.Failed > 0 {
+			c.state = StateFailed
+			c.errMsg = res.FirstError().Error()
+		} else {
+			c.state = StateDone
+		}
+	case ctx.Err() != nil:
+		c.state = StateCancelled
+		c.errMsg = ctx.Err().Error()
+	default:
+		c.state = StateFailed
+		c.errMsg = err.Error()
+	}
+	c.broadcastLocked(event("status", c.statusLocked()))
+	for ch := range c.subs {
+		close(ch)
+	}
+	c.subs = map[chan []byte]struct{}{}
+	c.closedSubs = true
+}
+
+func (c *campaignState) onProgress(p campaign.Progress) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done = p.Done
+	if p.Error != "" {
+		c.failed++
+	}
+	c.broadcastLocked(event("progress", p))
+}
+
+// broadcastLocked sends an encoded SSE frame to every subscriber,
+// dropping frames for subscribers whose buffers are full.
+func (c *campaignState) broadcastLocked(frame []byte) {
+	for ch := range c.subs {
+		select {
+		case ch <- frame:
+		default:
+		}
+	}
+}
+
+// subscribe registers an SSE listener; the returned channel is closed when
+// the campaign finishes. ok is false when the campaign has already
+// finished.
+func (c *campaignState) subscribe() (ch chan []byte, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closedSubs {
+		return nil, false
+	}
+	ch = make(chan []byte, 64)
+	c.subs[ch] = struct{}{}
+	return ch, true
+}
+
+func (c *campaignState) unsubscribe(ch chan []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.subs, ch)
+}
+
+func (c *campaignState) status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+func (c *campaignState) statusLocked() Status {
+	st := Status{
+		ID:         c.id,
+		Name:       c.spec.Name,
+		State:      c.state,
+		JobsTotal:  c.total,
+		JobsDone:   c.done,
+		JobsFailed: c.failed,
+		Workers:    c.workers,
+		Error:      c.errMsg,
+		Created:    c.created,
+	}
+	if !c.finished.IsZero() {
+		f := c.finished
+		st.Finished = &f
+	}
+	if c.result != nil {
+		sum := c.result.Summary
+		st.Summary = &sum
+	}
+	return st
+}
+
+func (s *Server) lookup(id string) (*campaignState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	states := make([]*campaignState, 0, len(s.order))
+	for _, id := range s.order {
+		states = append(states, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(states))
+	for i, c := range states {
+		out[i] = c.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	c.mu.Lock()
+	res := c.result
+	state := c.state
+	c.mu.Unlock()
+	if res == nil {
+		httpError(w, http.StatusConflict, fmt.Sprintf("campaign is %s; results not available", state))
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := res.WriteJSON(w); err != nil {
+			return // client went away mid-stream; nothing to salvage
+		}
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := res.WriteCSV(w); err != nil {
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "format must be json or csv")
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	c.cancel()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": c.id, "state": "cancelling"})
+}
+
+// handleEvents streams a campaign's progress as server-sent events: an
+// initial "status" event, one "progress" event per completed job, and a
+// final "status" event when the campaign finishes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before the initial snapshot so a completion landing in
+	// between is still delivered (as the closing broadcast).
+	ch, live := c.subscribe()
+	if live {
+		defer c.unsubscribe(ch)
+	}
+	if _, err := w.Write(event("status", c.status())); err != nil {
+		return
+	}
+	flusher.Flush()
+	if !live {
+		return // already finished; the status event said so
+	}
+	for {
+		select {
+		case frame, open := <-ch:
+			if !open {
+				// The campaign finished. Broadcast frames are
+				// dropped for slow subscribers, so emit the
+				// terminal status directly to guarantee every
+				// stream ends with one.
+				_, _ = w.Write(event("status", c.status()))
+				flusher.Flush()
+				return
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// event encodes one SSE frame.
+func event(name string, payload any) []byte {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{"error":"encoding event"}`)
+	}
+	return []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", name, data))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -153,6 +153,15 @@ func All() []Profile {
 	}
 }
 
+// Names returns the profiles' names, in order.
+func Names(ps []Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
 // ByName returns the profile with the given name.
 func ByName(name string) (Profile, bool) {
 	for _, p := range All() {

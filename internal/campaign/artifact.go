@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"io"
 	"strconv"
+
+	"repro/internal/mem"
 )
 
 // WriteJSON serialises the full result (spec, per-job rows, summary) as
@@ -23,7 +25,9 @@ var csvHeader = []string{
 	"sweeps", "caps_revoked", "mallocs", "frees", "freed_bytes",
 	"app_seconds", "measured_page_density", "measured_line_density",
 	"measured_free_rate_mib", "measured_frees_per_sec",
-	"peak_footprint", "heap_bytes", "sweep_traffic_bytes", "error",
+	"peak_footprint", "heap_bytes", "sweep_traffic_bytes",
+	"dram_read_bytes", "dram_write_bytes", "offcore_bytes", "tag_dram_reads",
+	"error",
 }
 
 // WriteCSV emits one row per job with the fixed csvHeader columns, in job
@@ -34,6 +38,13 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, j := range r.Jobs {
+		// Traffic columns are zero unless the spec enabled a traffic
+		// model (the column set is fixed so artifact schemas never
+		// depend on the spec).
+		var traffic mem.HierarchyStats
+		if j.Traffic != nil {
+			traffic = j.Traffic.HierarchyStats
+		}
 		row := []string{
 			strconv.Itoa(j.Job.ID),
 			j.Job.Profile,
@@ -58,6 +69,10 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			strconv.FormatUint(j.PeakFootprint, 10),
 			strconv.FormatUint(j.HeapBytes, 10),
 			strconv.FormatUint(j.SweepTrafficBytes, 10),
+			strconv.FormatUint(traffic.DRAMReadBytes, 10),
+			strconv.FormatUint(traffic.DRAMWriteBytes, 10),
+			strconv.FormatUint(traffic.OffCoreBytes, 10),
+			strconv.FormatUint(traffic.TagDRAMReads, 10),
 			j.Error,
 		}
 		if err := cw.Write(row); err != nil {

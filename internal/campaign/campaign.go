@@ -31,6 +31,13 @@ const (
 	DefaultQuarantineMinBytes = uint64(64 << 10)
 )
 
+// Traffic model names for Spec.Traffic: which cache hierarchy each job
+// builds for DRAM-traffic replay. Empty disables the replay.
+const (
+	TrafficX86   = "x86"   // Table 1's x86 hierarchy (8 MiB LLC)
+	TrafficCHERI = "cheri" // the FPGA prototype's hierarchy (256 KiB LLC)
+)
+
 // Variant names one system configuration under test: the revocation sweep
 // setup plus the core-level deployment switches of the paper's §8
 // extensions.
@@ -89,6 +96,14 @@ type Spec struct {
 	// each workload's heap scale factor, as the figure experiments do
 	// (scaled-down heaps sweep proportionally more often).
 	ScaledStartup bool `json:"scaled_startup,omitempty"`
+
+	// Traffic selects a cache-hierarchy model (TrafficX86 or TrafficCHERI)
+	// for Figure 10's DRAM-traffic replay. Each job builds and owns its
+	// own hierarchy — hierarchies are runtime state and are never shared
+	// between jobs, so traffic-enabled campaigns parallelise freely and
+	// their artifacts stay byte-identical for any worker count and any
+	// sweep shard count (the sharded sweeper's merge is shard-invariant).
+	Traffic string `json:"traffic,omitempty"`
 
 	// Baseline additionally runs, per job, a matched direct-free run
 	// (same seed, event volume bounded to the job's frees) and records
@@ -159,6 +174,7 @@ type Job struct {
 	QuarantineMinBytes uint64 `json:"quarantine_min_bytes"`
 	ScaledStartup      bool   `json:"scaled_startup,omitempty"`
 	Baseline           bool   `json:"baseline,omitempty"`
+	Traffic            string `json:"traffic,omitempty"`
 }
 
 // Jobs expands the spec into its deterministic job list. Axis order is
@@ -180,6 +196,11 @@ func (s Spec) Jobs() ([]Job, error) {
 			return nil, fmt.Errorf("campaign: image sweep %d launders CapDirty state, which would perturb the sweeps after it", i)
 		}
 	}
+	switch s.Traffic {
+	case "", TrafficX86, TrafficCHERI:
+	default:
+		return nil, fmt.Errorf("campaign: unknown traffic model %q (want %q or %q)", s.Traffic, TrafficX86, TrafficCHERI)
+	}
 	var jobs []Job
 	for _, p := range s.Profiles {
 		for _, v := range s.Variants {
@@ -198,6 +219,7 @@ func (s Spec) Jobs() ([]Job, error) {
 							QuarantineMinBytes: s.QuarantineMinBytes,
 							ScaledStartup:      s.ScaledStartup,
 							Baseline:           s.Baseline,
+							Traffic:            s.Traffic,
 						})
 					}
 				}

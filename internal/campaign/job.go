@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
 	"repro/internal/sim"
@@ -45,6 +46,11 @@ type JobResult struct {
 	CacheEffectSeconds float64    `json:"cache_effect_seconds"`
 	SweepTrafficBytes  uint64     `json:"sweep_traffic_bytes"`
 
+	// Traffic is the cache-hierarchy DRAM-traffic report (Spec.Traffic):
+	// the job-owned hierarchy's totals over every sweep of the run, plus
+	// per-level hit/miss/write-back counters.
+	Traffic *TrafficReport `json:"traffic,omitempty"`
+
 	// Figure 6 cumulative bars (normalised execution time).
 	QuarantineOnly float64 `json:"quarantine_only"`
 	PlusShadow     float64 `json:"plus_shadow"`
@@ -57,6 +63,27 @@ type JobResult struct {
 	// Post-run image sweeps.
 	ImageSweepSelf *revoke.Stats  `json:"image_sweep_self,omitempty"`
 	ImageSweeps    []revoke.Stats `json:"image_sweeps,omitempty"`
+}
+
+// TrafficReport is one job's DRAM-traffic accounting, measured on the cache
+// hierarchy the job owns.
+type TrafficReport struct {
+	Model string `json:"model"` // TrafficX86 or TrafficCHERI
+	mem.HierarchyStats
+	Levels []mem.LevelStats `json:"levels"`
+}
+
+// newHierarchy builds the job-owned cache hierarchy for a traffic model
+// name (validated by Spec.Jobs).
+func newHierarchy(model string) *mem.Hierarchy {
+	switch model {
+	case TrafficX86:
+		return mem.NewX86Hierarchy()
+	case TrafficCHERI:
+		return mem.NewCHERIHierarchy()
+	default:
+		return nil
+	}
 }
 
 // Runtime returns the job's normalised execution time (the full CHERIvoke
@@ -90,6 +117,11 @@ func runJob(spec Spec, job Job) JobResult {
 		UnmapLarge:      job.Variant.UnmapLarge,
 		Alloc:           alloc.Options{TypedReuse: job.Variant.TypedReuse},
 	}
+	// The job owns its hierarchy. A hierarchy smuggled in through the
+	// variant's revoke config would be shared by every job in the campaign
+	// — a data race on the pool and a determinism leak — so it is dropped
+	// and rebuilt per job from the declarative Traffic model instead.
+	cfg.Revoke.Hierarchy = newHierarchy(job.Traffic)
 	if job.ScaledStartup {
 		m := sim.X86()
 		m.SweepStartup *= workload.Scale(p, wopts)
@@ -124,6 +156,9 @@ func runJob(spec Spec, job Job) JobResult {
 	jr.FinalPageDensity, jr.FinalLineDensity = sys.Mem().Density()
 	for _, rep := range sys.Reports() {
 		jr.SweepTrafficBytes += rep.Sweep.BytesRead + rep.Sweep.BytesWritten
+	}
+	if h := cfg.Revoke.Hierarchy; h != nil {
+		jr.Traffic = &TrafficReport{Model: job.Traffic, HierarchyStats: h.Stats(), Levels: h.Levels()}
 	}
 	jr.QuarantineOnly, jr.PlusShadow, jr.PlusSweep = decompose(jr.Stats, res)
 

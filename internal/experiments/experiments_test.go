@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"repro/internal/sim"
@@ -290,6 +292,32 @@ func TestFig10TrafficModest(t *testing.T) {
 	}
 	if byName["bzip2"] != 0 {
 		t.Errorf("bzip2 traffic overhead %.2f%%, want 0", byName["bzip2"])
+	}
+}
+
+// TestFig10ShardInvariance is the figure-level byte-for-byte guarantee: the
+// Figure 10 rows — sweep DRAM traffic relative to application traffic — are
+// identical whether the sweeps run serially or 8-way sharded, because each
+// shard replays into a cold hierarchy clone and the merge is exact.
+func TestFig10ShardInvariance(t *testing.T) {
+	serial, err := fig10At(Quick(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := fig10At(Quick(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("Figure 10 artifact differs between serial and sharded sweeps:\n%s\nvs\n%s", a, b)
 	}
 }
 

@@ -16,9 +16,22 @@ type CacheConfig struct {
 
 // CacheStats counts the events at one cache level.
 type CacheStats struct {
-	Hits       uint64
-	Misses     uint64
-	WriteBacks uint64
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	WriteBacks uint64 `json:"write_backs"`
+}
+
+// Merge returns the event-wise sum of s and other. Merge is a commutative
+// monoid over CacheStats — associative, commutative, with the zero value as
+// identity — which is what lets the sharded sweeper replay each shard's
+// accesses into an independent clone and fold the per-shard counters back
+// together in any grouping without changing the total.
+func (s CacheStats) Merge(other CacheStats) CacheStats {
+	return CacheStats{
+		Hits:       s.Hits + other.Hits,
+		Misses:     s.Misses + other.Misses,
+		WriteBacks: s.WriteBacks + other.WriteBacks,
+	}
 }
 
 type cacheLine struct {
@@ -55,6 +68,16 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 
 // Stats returns a snapshot of the cache's counters.
 func (c *Cache) Stats() CacheStats { return c.stats }
+
+// CloneCold returns a new cache with the same geometry, all lines invalid
+// and zeroed counters. Sweep shards replay into cold clones so their
+// counters can be merged deterministically.
+func (c *Cache) CloneCold() *Cache { return NewCache(c.cfg) }
+
+// AbsorbStats folds another cache's counters into this one's. Line state is
+// untouched: the absorbed cache's contents describe a different (per-shard)
+// access stream and have no meaningful union with this cache's lines.
+func (c *Cache) AbsorbStats(s CacheStats) { c.stats = c.stats.Merge(s) }
 
 // Reset invalidates all lines and zeroes counters.
 func (c *Cache) Reset() {
@@ -107,10 +130,21 @@ func (c *Cache) Access(addr uint64, write bool) (hit, writeBack bool) {
 
 // HierarchyStats aggregates traffic through a cache hierarchy.
 type HierarchyStats struct {
-	DRAMReadBytes  uint64 // line fills from DRAM
-	DRAMWriteBytes uint64 // dirty write-backs to DRAM
-	OffCoreBytes   uint64 // traffic beyond L2 (shared-LLC traffic, Figure 10)
-	TagDRAMReads   uint64 // tag-table line fills
+	DRAMReadBytes  uint64 `json:"dram_read_bytes"`  // line fills from DRAM
+	DRAMWriteBytes uint64 `json:"dram_write_bytes"` // dirty write-backs to DRAM
+	OffCoreBytes   uint64 `json:"offcore_bytes"`    // traffic beyond L2 (shared-LLC traffic, Figure 10)
+	TagDRAMReads   uint64 `json:"tag_dram_reads"`   // tag-table line fills
+}
+
+// Merge returns the counter-wise sum of s and other — the same commutative
+// monoid as CacheStats.Merge, lifted to the hierarchy's traffic totals.
+func (s HierarchyStats) Merge(other HierarchyStats) HierarchyStats {
+	return HierarchyStats{
+		DRAMReadBytes:  s.DRAMReadBytes + other.DRAMReadBytes,
+		DRAMWriteBytes: s.DRAMWriteBytes + other.DRAMWriteBytes,
+		OffCoreBytes:   s.OffCoreBytes + other.OffCoreBytes,
+		TagDRAMReads:   s.TagDRAMReads + other.TagDRAMReads,
+	}
 }
 
 // Hierarchy is the three-level data-cache hierarchy of Table 1's x86 system
@@ -155,6 +189,67 @@ func NewCHERIHierarchy() *Hierarchy {
 // Stats returns the hierarchy's aggregate traffic counters.
 func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
 
+// CloneCold returns a hierarchy with the same geometry at every level, all
+// lines invalid and all counters zero.
+//
+// Approximation note (per-shard cold start vs. shared LRU): a parallel sweep
+// gives each shard a cold clone instead of sharing one LRU-coherent
+// hierarchy, because a shared model would make hit/miss counts depend on
+// goroutine interleaving. The divergence this buys is bounded and is zero
+// for the sweep access pattern itself: a sweep streams every swept line
+// exactly once (no data reuse, so every data access misses a cold *and* a
+// shared cache alike) and CLoadTags probes reuse a tag line only inside its
+// 8 KiB coverage window, which the shard partitioning keeps within one
+// shard. What the clone does forgo is warmth carried in from the
+// application between sweeps — the model charges every sweep cold-cache
+// streaming traffic, matching the paper's pessimistic Figure 10 accounting.
+func (h *Hierarchy) CloneCold() *Hierarchy {
+	clone := &Hierarchy{
+		L1:  h.L1.CloneCold(),
+		L2:  h.L2.CloneCold(),
+		LLC: h.LLC.CloneCold(),
+	}
+	if h.TagCache != nil {
+		clone.TagCache = h.TagCache.CloneCold()
+	}
+	return clone
+}
+
+// Absorb merges a shard clone's counters — per-level CacheStats and the
+// aggregate traffic totals — into h, leaving h's line state untouched.
+// Because every counter merge is commutative and associative, absorbing the
+// shards of a sweep in shard-index order yields totals independent of how
+// the page list was partitioned.
+func (h *Hierarchy) Absorb(shard *Hierarchy) {
+	h.L1.AbsorbStats(shard.L1.stats)
+	h.L2.AbsorbStats(shard.L2.stats)
+	h.LLC.AbsorbStats(shard.LLC.stats)
+	if h.TagCache != nil && shard.TagCache != nil {
+		h.TagCache.AbsorbStats(shard.TagCache.stats)
+	}
+	h.stats = h.stats.Merge(shard.stats)
+}
+
+// LevelStats is one cache level's counters, labelled for artifacts.
+type LevelStats struct {
+	Name string `json:"name"`
+	CacheStats
+}
+
+// Levels returns every level's counters in walk order (L1, L2, LLC, then the
+// tag cache when present).
+func (h *Hierarchy) Levels() []LevelStats {
+	out := []LevelStats{
+		{Name: h.L1.cfg.Name, CacheStats: h.L1.stats},
+		{Name: h.L2.cfg.Name, CacheStats: h.L2.stats},
+		{Name: h.LLC.cfg.Name, CacheStats: h.LLC.stats},
+	}
+	if h.TagCache != nil {
+		out = append(out, LevelStats{Name: h.TagCache.cfg.Name, CacheStats: h.TagCache.stats})
+	}
+	return out
+}
+
 // Reset clears all levels and counters.
 func (h *Hierarchy) Reset() {
 	h.L1.Reset()
@@ -185,6 +280,19 @@ func (h *Hierarchy) Access(addr uint64, write bool) int {
 	}
 	h.stats.DRAMReadBytes += LineSize
 	return 4
+}
+
+// WriteBack charges the DRAM drain of one stored line. The sweeper uses it
+// for revocation stores (and the vector kernel's unconditional line stores):
+// the store itself hits in L1 — the line was examined immediately before —
+// and its dirtied line is drained to DRAM exactly once when the streaming
+// sweep evicts it. Charging the drain directly, instead of setting dirty
+// bits and counting evictions, keeps write traffic independent of where each
+// shard's walk happens to end (lines still resident at the end of a walk
+// would otherwise never be counted).
+func (h *Hierarchy) WriteBack() {
+	h.stats.DRAMWriteBytes += LineSize
+	h.stats.OffCoreBytes += LineSize
 }
 
 // AccessTags models a CLoadTags probe: it consults only the tag cache,

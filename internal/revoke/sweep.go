@@ -18,6 +18,7 @@ package revoke
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/cap"
@@ -30,55 +31,70 @@ import (
 type Config struct {
 	// Kernel selects the inner-loop implementation (timing only; all
 	// kernels revoke identically).
-	Kernel sim.Kernel
+	Kernel sim.Kernel `json:"kernel,omitempty"`
 
 	// UseCapDirty restricts the sweep to PTE-CapDirty pages (§3.4.2).
-	UseCapDirty bool
+	UseCapDirty bool `json:"use_cap_dirty,omitempty"`
 
 	// UseCLoadTags probes line tags and skips capability-free lines
 	// (§3.4.1).
-	UseCLoadTags bool
+	UseCLoadTags bool `json:"use_cload_tags,omitempty"`
 
 	// Shards is the parallel sweep width; 0 or 1 sweeps serially (§3.5).
-	Shards int
+	Shards int `json:"shards,omitempty"`
 
 	// Launder re-cleans CapDirty pages found capability-free (§3.4.2).
-	Launder bool
+	Launder bool `json:"launder,omitempty"`
 
 	// Hierarchy, when non-nil, replays the sweep's accesses through the
-	// cache model for DRAM-traffic accounting (Figure 10). Only applied
-	// for serial sweeps: the cache model is single-threaded. It is
-	// runtime state, not configuration data, and is excluded from
-	// serialised campaign specs.
+	// cache model for DRAM-traffic accounting (Figure 10), for serial and
+	// sharded sweeps alike: each shard replays into a cold clone
+	// (mem.Hierarchy.CloneCold) and the per-level counters are merged
+	// back in shard order, so the traffic totals are identical for any
+	// shard count. It is runtime state, not configuration data, and is
+	// excluded from serialised campaign specs.
 	Hierarchy *mem.Hierarchy `json:"-"`
 }
 
 // Stats is the event-count summary of one sweep.
 type Stats struct {
-	PagesTotal    uint64 // mapped pages in the swept segments
-	PagesSwept    uint64 // pages actually walked
-	PagesSkipped  uint64 // pages excluded by CapDirty
-	PageRuns      uint64 // contiguous runs of swept pages
-	LinesSwept    uint64 // lines whose data was examined
-	LinesSkipped  uint64 // lines excluded by CLoadTags
-	TagProbes     uint64 // CLoadTags probes issued
-	WordsRead     uint64 // words examined by the kernel
-	CapsFound     uint64 // tagged capabilities encountered
-	CapsRevoked   uint64 // tags cleared (memory)
-	RegsScanned   uint64 // register-file entries examined
-	RegsRevoked   uint64 // register-file entries revoked
-	ShadowLookups uint64
-	PagesLaunder  uint64 // CapDirty bits re-cleaned
-	BytesRead     uint64 // data bytes fetched
-	BytesWritten  uint64 // bytes stored (revocation write-backs)
+	PagesTotal    uint64 `json:"pages_total"`   // mapped pages in the swept segments
+	PagesSwept    uint64 `json:"pages_swept"`   // pages actually walked
+	PagesSkipped  uint64 `json:"pages_skipped"` // pages excluded by CapDirty
+	PageRuns      uint64 `json:"page_runs"`     // contiguous runs of swept pages
+	LinesSwept    uint64 `json:"lines_swept"`   // lines whose data was examined
+	LinesSkipped  uint64 `json:"lines_skipped"` // lines excluded by CLoadTags
+	TagProbes     uint64 `json:"tag_probes"`    // CLoadTags probes issued
+	WordsRead     uint64 `json:"words_read"`    // words examined by the kernel
+	CapsFound     uint64 `json:"caps_found"`    // tagged capabilities encountered
+	CapsRevoked   uint64 `json:"caps_revoked"`  // tags cleared (memory)
+	RegsScanned   uint64 `json:"regs_scanned"`  // register-file entries examined
+	RegsRevoked   uint64 `json:"regs_revoked"`  // register-file entries revoked
+	ShadowLookups uint64 `json:"shadow_lookups"`
+	PagesLaunder  uint64 `json:"pages_launder"` // CapDirty bits re-cleaned
+	BytesRead     uint64 `json:"bytes_read"`    // data bytes fetched
+	BytesWritten  uint64 `json:"bytes_written"` // bytes stored (revocation write-backs)
+
+	// Traffic is the DRAM/off-core traffic this sweep generated in the
+	// attached cache hierarchy (Figure 10). TrafficReplayed is the
+	// explicit marker that a hierarchy was attached and the replay ran —
+	// it replaced the old silent skip, where a sharded sweep with a
+	// hierarchy configured simply dropped the accounting. Sharded sweeps
+	// now replay per shard and merge, so the marker is true whenever
+	// Config.Hierarchy was set.
+	TrafficReplayed bool               `json:"traffic_replayed,omitempty"`
+	Traffic         mem.HierarchyStats `json:"traffic,omitzero"`
 }
 
-// Work converts the stats into the timing model's sweep-work summary.
+// Work converts the stats into the timing model's sweep-work summary. When
+// the sweep replayed through a cache hierarchy, the modelled DRAM traffic
+// rides along so Machine.SweepTime can price memory time from actual line
+// fills and write-backs instead of the analytic byte counts.
 func (s Stats) Work(shards int) sim.SweepWork {
 	if shards < 1 {
 		shards = 1
 	}
-	return sim.SweepWork{
+	w := sim.SweepWork{
 		WordsProcessed: s.WordsRead,
 		BytesRead:      s.BytesRead,
 		BytesWritten:   s.BytesWritten,
@@ -86,6 +102,12 @@ func (s Stats) Work(shards int) sim.SweepWork {
 		PageRuns:       s.PageRuns,
 		Shards:         shards,
 	}
+	if s.TrafficReplayed {
+		w.DRAMReadBytes = s.Traffic.DRAMReadBytes
+		w.DRAMWriteBytes = s.Traffic.DRAMWriteBytes
+		w.TrafficModelled = true
+	}
+	return w
 }
 
 // Add accumulates other into s.
@@ -106,13 +128,22 @@ func (s *Stats) Add(other Stats) {
 	s.PagesLaunder += other.PagesLaunder
 	s.BytesRead += other.BytesRead
 	s.BytesWritten += other.BytesWritten
+	s.TrafficReplayed = s.TrafficReplayed || other.TrafficReplayed
+	s.Traffic = s.Traffic.Merge(other.Traffic)
 }
 
-// Sweeper revokes dangling capabilities against a shadow map.
+// Sweeper revokes dangling capabilities against a shadow map. It is not safe
+// for concurrent use: the shard clones below are reused across sweeps.
 type Sweeper struct {
 	mem    *mem.Memory
 	shadow *shadow.Map
 	cfg    Config
+
+	// shardClones are the per-shard hierarchy replicas, kept across
+	// sweeps and Reset to cold before each one: a clone of the x86
+	// geometry is several MiB of line metadata, far too much to allocate
+	// per sweep when campaigns sweep thousands of times.
+	shardClones []*mem.Hierarchy
 }
 
 // New returns a sweeper over m guided by the shadow map sm.
@@ -157,24 +188,17 @@ func (s *Sweeper) Sweep(regs []cap.Capability) (Stats, error) {
 	stats.PagesSwept = uint64(len(swept))
 	stats.PageRuns = countRuns(swept)
 
-	var revoked []uint64
-	var err error
-	if s.cfg.Shards > 1 {
-		revoked, err = s.sweepParallel(swept, &stats)
-	} else {
-		revoked, err = s.sweepPages(swept, &stats)
-	}
+	revoked, err := s.sweepSharded(swept, &stats)
 	if err != nil {
 		return stats, err
 	}
 
-	// Apply revocations: clear tags, counting write-back traffic.
+	// Apply revocations: clear tags. The write traffic was already
+	// replayed at discovery time, inside the shard that found each
+	// capability (see sweepOnePage), so the hierarchy is not touched here.
 	for _, addr := range revoked {
 		if err := s.mem.ClearTag(addr); err != nil {
 			return stats, fmt.Errorf("revoke: clearing tag at %#x: %w", addr, err)
-		}
-		if s.cfg.Hierarchy != nil && s.cfg.Shards <= 1 {
-			s.cfg.Hierarchy.Access(addr, true)
 		}
 	}
 	stats.CapsRevoked = uint64(len(revoked))
@@ -199,19 +223,117 @@ func (s *Sweeper) Sweep(regs []cap.Capability) (Stats, error) {
 	return stats, nil
 }
 
-// sweepPages walks the given pages serially, returning the addresses of
-// granules holding revoked capabilities.
-func (s *Sweeper) sweepPages(pages []uint64, stats *Stats) ([]uint64, error) {
-	var revoked []uint64
-	for _, base := range pages {
-		if err := s.sweepOnePage(base, stats, &revoked); err != nil {
-			return nil, err
+// shardResult is one shard's private view of the sweep: its event counts,
+// the revocations it discovered, and the cold hierarchy clone it replayed
+// traffic into.
+type shardResult struct {
+	stats   Stats
+	revoked []uint64
+	h       *mem.Hierarchy
+	err     error
+}
+
+// sweepSharded walks the page list with cfg.Shards workers (§3.5: "pages to
+// sweep can be distributed between independent threads; the shared shadow
+// map is read-only during the sweep") and merges the per-shard results in
+// shard-index order. One shard runs inline; more run as goroutines, each
+// reading memory and the shadow map concurrently and replaying traffic into
+// its own cold hierarchy clone. Revocations are applied serially by the
+// caller.
+//
+// Determinism: partitionByTagWindow keeps every tag-line coverage window
+// inside one shard and the replay has no cross-line reuse, so the merged
+// stats — traffic included — are byte-identical for any shard count.
+func (s *Sweeper) sweepSharded(pages []uint64, stats *Stats) ([]uint64, error) {
+	shards := s.cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	parts := partitionByTagWindow(pages, shards)
+	results := make([]shardResult, shards)
+	if s.cfg.Hierarchy != nil {
+		for len(s.shardClones) < shards {
+			s.shardClones = append(s.shardClones, s.cfg.Hierarchy.CloneCold())
+		}
+		for i := range results {
+			s.shardClones[i].Reset()
+			results[i].h = s.shardClones[i]
 		}
 	}
+
+	runShard := func(i int) {
+		r := &results[i]
+		for _, base := range parts[i] {
+			if err := s.sweepOnePage(base, &r.stats, &r.revoked, r.h); err != nil {
+				r.err = err
+				return
+			}
+		}
+	}
+	if shards == 1 {
+		runShard(0)
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runShard(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Merge, ordered by shard index. Every merge step is commutative and
+	// associative, so the order is a convention, not a correctness
+	// requirement — but fixing it keeps the walk canonical.
+	var revoked []uint64
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		stats.Add(results[i].stats)
+		revoked = append(revoked, results[i].revoked...)
+		if s.cfg.Hierarchy != nil {
+			stats.Traffic = stats.Traffic.Merge(results[i].h.Stats())
+			s.cfg.Hierarchy.Absorb(results[i].h)
+		}
+	}
+	if s.cfg.Hierarchy != nil {
+		stats.TrafficReplayed = true
+	}
+	// Canonical ascending apply order, independent of the partitioning.
+	slices.Sort(revoked)
 	return revoked, nil
 }
 
-func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64) error {
+// partitionByTagWindow splits the sorted page list into shards, assigning
+// whole tag-line coverage windows (mem.TagLineCoverage bytes, 2 pages)
+// round-robin by window index. Keeping a window's pages in one shard is what
+// makes CLoadTags tag-cache behaviour — and therefore the replayed traffic —
+// independent of the shard count: a tag line is only ever reused within its
+// own window, and that window is walked contiguously by a single shard.
+func partitionByTagWindow(pages []uint64, shards int) [][]uint64 {
+	parts := make([][]uint64, shards)
+	window := ^uint64(0)
+	idx := -1
+	for _, p := range pages {
+		if w := p / mem.TagLineCoverage; w != window {
+			window = w
+			idx++
+		}
+		parts[idx%shards] = append(parts[idx%shards], p)
+	}
+	return parts
+}
+
+// sweepOnePage walks one page, accumulating into the shard-private stats and
+// revocation list. When h is non-nil every access is replayed through it:
+// CLoadTags probes through the tag cache, line reads through the data
+// hierarchy, and — for lines the sweep will store back (revoked lines, or
+// every swept line under the unconditionally-storing vector kernel) — one
+// line write-back charge at discovery time (mem.Hierarchy.WriteBack).
+func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64, h *mem.Hierarchy) error {
 	for line := uint64(0); line < mem.LinesPerPage; line++ {
 		lineAddr := base + line*mem.LineSize
 		if s.cfg.UseCLoadTags {
@@ -220,8 +342,8 @@ func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64) err
 				return err
 			}
 			stats.TagProbes++
-			if s.cfg.Hierarchy != nil && s.cfg.Shards <= 1 {
-				s.cfg.Hierarchy.AccessTags(lineAddr)
+			if h != nil {
+				h.AccessTags(lineAddr)
 			}
 			if mask == 0 {
 				stats.LinesSkipped++
@@ -230,9 +352,10 @@ func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64) err
 		}
 		stats.LinesSwept++
 		stats.BytesRead += mem.LineSize
-		if s.cfg.Hierarchy != nil && s.cfg.Shards <= 1 {
-			s.cfg.Hierarchy.Access(lineAddr, false)
+		if h != nil {
+			h.Access(lineAddr, false)
 		}
+		lineRevoked := false
 		for g := uint64(0); g < mem.GranulesPerLine; g++ {
 			addr := lineAddr + g*mem.GranuleSize
 			lo, hi, tag, err := s.mem.PeekWords(addr)
@@ -247,56 +370,14 @@ func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64) err
 			stats.ShadowLookups++
 			if s.shadow.Revoked(cap.DecodeBase(lo, hi)) {
 				*revoked = append(*revoked, addr)
+				lineRevoked = true
 			}
+		}
+		if h != nil && (lineRevoked || s.cfg.Kernel == sim.KernelVector) {
+			h.WriteBack()
 		}
 	}
 	return nil
-}
-
-// sweepParallel shards the page list across goroutines (§3.5: "pages to
-// sweep can be distributed between independent threads; the shared shadow
-// map is read-only during the sweep"). Each shard reads concurrently;
-// revocations are applied serially by the caller.
-func (s *Sweeper) sweepParallel(pages []uint64, stats *Stats) ([]uint64, error) {
-	shards := s.cfg.Shards
-	type result struct {
-		stats   Stats
-		revoked []uint64
-		err     error
-	}
-	results := make([]result, shards)
-	var wg sync.WaitGroup
-	for i := 0; i < shards; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			r := &results[i]
-			for j := i; j < len(pages); j += shards {
-				if err := s.sweepOnePage(pages[j], &r.stats, &r.revoked); err != nil {
-					r.err = err
-					return
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	var revoked []uint64
-	for i := range results {
-		if results[i].err != nil {
-			return nil, results[i].err
-		}
-		stats.Add(Stats{
-			LinesSwept:    results[i].stats.LinesSwept,
-			LinesSkipped:  results[i].stats.LinesSkipped,
-			TagProbes:     results[i].stats.TagProbes,
-			WordsRead:     results[i].stats.WordsRead,
-			CapsFound:     results[i].stats.CapsFound,
-			ShadowLookups: results[i].stats.ShadowLookups,
-			BytesRead:     results[i].stats.BytesRead,
-		})
-		revoked = append(revoked, results[i].revoked...)
-	}
-	return revoked, nil
 }
 
 // countRuns counts maximal runs of contiguous pages in a sorted page list.

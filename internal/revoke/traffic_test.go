@@ -49,19 +49,40 @@ func TestHierarchyTrafficAccounting(t *testing.T) {
 	}
 }
 
-// TestParallelSweepSkipsHierarchy documents that traffic accounting is
-// serial-only (the cache model is single-threaded): a sharded sweep leaves
-// the hierarchy untouched rather than racing on it.
-func TestParallelSweepSkipsHierarchy(t *testing.T) {
+// TestParallelSweepReplaysHierarchy pins the fix for the old silent-skip
+// footgun: a sharded sweep with a hierarchy attached used to drop traffic
+// accounting entirely (the cache model was single-threaded). It now replays
+// per shard into cold clones, merges, and says so via the explicit
+// TrafficReplayed marker — and the per-sweep Stats.Traffic delta matches
+// what landed in the hierarchy.
+func TestParallelSweepReplaysHierarchy(t *testing.T) {
 	f := newFixture(t)
 	f.plant(t, heapBase+0x40, heapBase+0x2000)
 	h := mem.NewX86Hierarchy()
 	s := New(f.mem, f.shadow, Config{Shards: 4, Hierarchy: h})
-	if _, err := s.Sweep(nil); err != nil {
+	stats, err := s.Sweep(nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got := h.Stats(); got.DRAMReadBytes != 0 {
-		t.Errorf("parallel sweep touched the hierarchy: %+v", got)
+	if !stats.TrafficReplayed {
+		t.Error("TrafficReplayed marker not set for sharded sweep with hierarchy")
+	}
+	if got := h.Stats(); got.DRAMReadBytes == 0 {
+		t.Errorf("sharded sweep left the hierarchy untouched: %+v", got)
+	}
+	if stats.Traffic != h.Stats() {
+		t.Errorf("per-sweep traffic %+v != hierarchy stats %+v (single sweep into a cold hierarchy)",
+			stats.Traffic, h.Stats())
+	}
+
+	// Without a hierarchy the marker stays clear: traffic was not skipped,
+	// it was never requested.
+	plain, err := New(f.mem, f.shadow, Config{Shards: 4}).Sweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TrafficReplayed {
+		t.Error("TrafficReplayed set without a hierarchy attached")
 	}
 }
 

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// trafficSpec is a small traffic-enabled campaign with sharded sweeps — the
+// Figure-10 shape — parameterised by name so concurrent submissions are
+// distinguishable.
+func trafficSpec(name string, shards int) campaign.Spec {
+	v := campaign.PaperVariant()
+	v.Revoke.Shards = shards
+	return campaign.Spec{
+		Name:          name,
+		Profiles:      []string{"povray", "hmmer"},
+		Variants:      []campaign.Variant{v},
+		MaxLive:       []uint64{1 << 20},
+		MinSweeps:     1,
+		MaxEvents:     10000,
+		ScaledStartup: true,
+		Traffic:       campaign.TrafficX86,
+	}
+}
+
+// readSSE consumes one campaign's event stream to its terminal status,
+// checking that progress counters are monotonic and bounded.
+func readSSE(ts *httptest.Server, id string) error {
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("campaign %s: content type %q", id, ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var event string
+	lastDone := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := []byte(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "progress":
+				var p campaign.Progress
+				if err := json.Unmarshal(data, &p); err != nil {
+					return fmt.Errorf("campaign %s: bad progress: %v", id, err)
+				}
+				if p.Done < lastDone || p.Done > p.Total {
+					return fmt.Errorf("campaign %s: done %d after %d of %d", id, p.Done, lastDone, p.Total)
+				}
+				lastDone = p.Done
+			case "status":
+				var st Status
+				if err := json.Unmarshal(data, &st); err != nil {
+					return fmt.Errorf("campaign %s: bad status: %v", id, err)
+				}
+				if st.ID != id {
+					return fmt.Errorf("campaign %s: stream leaked status for %s", id, st.ID)
+				}
+				if st.State == StateDone {
+					return nil
+				}
+				if st.State != StateRunning {
+					return fmt.Errorf("campaign %s: terminal state %q (%s)", id, st.State, st.Error)
+				}
+			}
+		}
+	}
+	return fmt.Errorf("campaign %s: stream ended without a terminal status", id)
+}
+
+// TestConcurrentSubmissionsSSE submits several traffic-enabled sharded
+// campaigns at once and follows every SSE stream concurrently: each stream
+// must deliver only its own campaign's events, monotonic progress, and a
+// terminal "done" status. Run under -race this stacks the server's
+// broadcast locking on top of the campaign pools and the sweeps' shard
+// goroutines.
+func TestConcurrentSubmissionsSSE(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2}).Handler())
+	defer ts.Close()
+
+	const campaigns = 4
+	errs := make(chan error, campaigns)
+	var wg sync.WaitGroup
+	for i := 0; i < campaigns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := submit(t, ts, trafficSpec(fmt.Sprintf("sse-%d", i), 2), 2)
+			errs <- readSSE(ts, sub.ID)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	var list []Status
+	if code := getJSON(t, ts.URL+"/campaigns", &list); code != http.StatusOK || len(list) != campaigns {
+		t.Fatalf("list after concurrent submissions: %d, %d entries", code, len(list))
+	}
+	for _, st := range list {
+		if st.State != StateDone || st.JobsFailed != 0 {
+			t.Errorf("campaign %s: %+v", st.ID, st)
+		}
+	}
+}
+
+// TestShardedCampaignArtifactsOverHTTP is the service-level determinism
+// check: the same sharded, traffic-enabled campaign submitted twice with
+// different worker widths serves byte-identical CSV artifacts (the
+// worker pool schedules, it never measures).
+func TestShardedCampaignArtifactsOverHTTP(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	fetchCSV := func(workers int) []byte {
+		sub := submit(t, ts, trafficSpec("det", 4), workers)
+		if st := waitDone(t, ts, sub.ID); st.State != StateDone {
+			t.Fatalf("campaign %s: %q (%s)", sub.ID, st.State, st.Error)
+		}
+		resp, err := http.Get(ts.URL + "/campaigns/" + sub.ID + "/results?format=csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	csv1, csv4 := fetchCSV(1), fetchCSV(4)
+	if !bytes.Equal(csv1, csv4) {
+		t.Errorf("CSV artifacts differ between 1 and 4 workers:\n%s\nvs\n%s", csv1, csv4)
+	}
+	if !strings.Contains(string(csv1), "dram_read_bytes") {
+		t.Error("CSV artifact missing traffic columns")
+	}
+}

@@ -75,6 +75,15 @@ type SweepWork struct {
 	TagProbes      uint64 // CLoadTags probes issued
 	PageRuns       uint64 // contiguous page runs entered
 	Shards         int    // parallel sweep width (≥1)
+
+	// TrafficModelled marks work measured through the cache-hierarchy
+	// model (Figure 10): DRAMReadBytes/DRAMWriteBytes are then the actual
+	// line fills and write-backs the sweep generated — including tag-table
+	// fills and net of cache hits — and SweepTime prices memory time from
+	// them instead of the analytic byte counts above.
+	TrafficModelled bool
+	DRAMReadBytes   uint64
+	DRAMWriteBytes  uint64
 }
 
 // SweepTime prices one sweep on the machine under the given kernel: the
@@ -92,9 +101,15 @@ func (m Machine) SweepTime(kc KernelCost, w SweepWork) float64 {
 	instr := float64(w.WordsProcessed) * kc.InstrPerWord
 	compute := instr / (m.FreqHz * m.IPC) / shards
 	var dram float64
-	if kc.StoresAllLines {
+	switch {
+	case w.TrafficModelled:
+		// Measured traffic already reflects cache hits and the kernel's
+		// store behaviour; price fills at streaming read bandwidth and
+		// write-backs at copy bandwidth.
+		dram = float64(w.DRAMReadBytes)/m.DRAMReadBW + float64(w.DRAMWriteBytes)/m.DRAMCopyBW
+	case kc.StoresAllLines:
 		dram = float64(w.BytesRead+w.BytesWritten) / m.DRAMCopyBW
-	} else {
+	default:
 		dram = float64(w.BytesRead)/m.DRAMReadBW + float64(w.BytesWritten)/m.DRAMCopyBW
 	}
 	t := compute

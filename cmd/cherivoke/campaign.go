@@ -22,8 +22,9 @@ func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "default campaign worker-pool width (0 = GOMAXPROCS)")
+	traceDir := fs.String("tracedir", "", "trace-store directory (default: a temporary directory)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N]")
+		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N] [-tracedir dir]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -31,29 +32,32 @@ func serveCmd(args []string) error {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(server.Options{Workers: *workers}).Handler(),
+		Handler:           server.New(server.Options{Workers: *workers, TraceDir: *traceDir}).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("cherivoke campaign service listening on %s\n", *addr)
-	fmt.Printf("  POST /campaigns, GET /campaigns/{id}, GET /campaigns/{id}/results, GET /healthz\n")
+	fmt.Printf("  POST /campaigns, GET /campaigns/{id}, GET /campaigns/{id}/results, POST /traces, GET /healthz\n")
 	return srv.ListenAndServe()
 }
 
 // campaignCmd runs one campaign locally on the worker pool and writes its
 // artifacts.
 //
-//	cherivoke campaign [-workers N] [-o results.json] [-csv results.csv] [spec.json]
+//	cherivoke campaign [-workers N] [-trace file|-] [-o results.json] [-csv results.csv] [spec.json]
 //
 // Without a spec file it runs the default campaign: every profile under the
-// paper-default CHERIvoke configuration.
+// paper-default CHERIvoke configuration. With -trace, every job replays the
+// given trace stream ('-' spools stdin to disk first, so `trace record |
+// campaign -trace -` never materialises the event sequence in memory).
 func campaignCmd(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS); never changes results")
 	jsonOut := fs.String("o", "", "write the JSON artifact to this file (default: summary only)")
 	csvOut := fs.String("csv", "", "write the CSV artifact to this file")
+	traceIn := fs.String("trace", "", "replay this trace file ('-' = stdin) instead of generating workloads")
 	quiet := fs.Bool("q", false, "suppress per-job progress on stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cherivoke campaign [-workers N] [-o out.json] [-csv out.csv] [spec.json]")
+		fmt.Fprintln(os.Stderr, "usage: cherivoke campaign [-workers N] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]")
 		fmt.Fprintln(os.Stderr, "runs the default all-profiles campaign when no spec file is given")
 		fs.PrintDefaults()
 	}
@@ -75,6 +79,20 @@ func campaignCmd(args []string) error {
 			return fmt.Errorf("parsing spec %s: %w", fs.Arg(0), err)
 		}
 	}
+
+	var traces campaign.TraceOpener
+	if *traceIn != "" {
+		opener, cleanup, err := spoolTrace(*traceIn)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		// The spec references the trace by content hash, exactly as a
+		// server-side spec would; artifacts record the same hash.
+		spec.TraceRef = opener.hash
+		traces = opener
+	}
+
 	jobs, err := spec.Jobs()
 	if err != nil {
 		return err
@@ -83,7 +101,7 @@ func campaignCmd(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := campaign.RunOptions{Workers: *workers}
+	opts := campaign.RunOptions{Workers: *workers, Traces: traces}
 	if !*quiet {
 		opts.OnProgress = func(p campaign.Progress) {
 			status := fmt.Sprintf("runtime %.3f", p.Runtime)

@@ -4,15 +4,18 @@
 // Usage:
 //
 //	cherivoke [-quick] [-seed N] [-workers N] [table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|ablations|invariance|all]
-//	cherivoke [-quick] trace <benchmark> <file.json>   # record a workload trace
-//	cherivoke replay <file.json>                       # replay it under both allocators
-//	cherivoke campaign [-workers N] [-o out.json] [-csv out.csv] [spec.json]
-//	cherivoke serve [-addr :8080] [-workers N]         # campaign HTTP service
+//	cherivoke trace record [-quick] [-seed N] [-format binary|ndjson|json] [-o out] <benchmark>
+//	cherivoke trace info <file|->
+//	cherivoke replay <file>                            # replay a trace under both allocators
+//	cherivoke campaign [-workers N] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]
+//	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir]
 //
 // Output is textual: each figure prints the same rows/series the paper
 // plots. Everything is deterministic for a given seed: figure sweeps run as
 // concurrent campaigns (internal/campaign) whose results are independent of
-// the worker count.
+// the worker count. Traces stream through the codecs of
+// docs/TRACE_FORMAT.md, so `trace record | campaign -trace -` pipes a
+// recording of any length into a campaign with a bounded event buffer.
 package main
 
 import (
@@ -44,6 +47,20 @@ func main() {
 				fatal(err)
 			}
 			return
+		case "trace":
+			if err := traceCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "replay":
+			if len(os.Args) != 3 {
+				fmt.Fprintln(os.Stderr, "usage: cherivoke replay <file>")
+				os.Exit(2)
+			}
+			if err := replayCmd(os.Args[2]); err != nil {
+				fatal(err)
+			}
+			return
 		}
 	}
 
@@ -52,10 +69,11 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign worker-pool width (0 = GOMAXPROCS); never changes results")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cherivoke [-quick] [-seed N] [-workers N] [table1|table2|fig5..fig10|ablations|invariance|all]\n")
-		fmt.Fprintf(os.Stderr, "       cherivoke [-quick] trace <benchmark> <file.json>\n")
-		fmt.Fprintf(os.Stderr, "       cherivoke replay <file.json>\n")
-		fmt.Fprintf(os.Stderr, "       cherivoke campaign [-workers N] [-o out.json] [-csv out.csv] [spec.json]\n")
-		fmt.Fprintf(os.Stderr, "       cherivoke serve [-addr :8080] [-workers N]\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke trace record [-quick] [-seed N] [-format binary|ndjson|json] [-o out] <benchmark>\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke trace info <file|->\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke replay <file>\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke campaign [-workers N] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke serve [-addr :8080] [-workers N] [-tracedir dir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,27 +90,6 @@ func main() {
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
-	}
-
-	switch what {
-	case "trace":
-		if flag.NArg() != 3 {
-			fmt.Fprintln(os.Stderr, "usage: cherivoke trace <benchmark> <file.json>")
-			os.Exit(2)
-		}
-		if err := traceCmd(opts, flag.Arg(1), flag.Arg(2)); err != nil {
-			fatal(err)
-		}
-		return
-	case "replay":
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: cherivoke replay <file.json>")
-			os.Exit(2)
-		}
-		if err := replayCmd(flag.Arg(1)); err != nil {
-			fatal(err)
-		}
-		return
 	}
 
 	runners := map[string]func(experiments.Options) error{
@@ -132,56 +129,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// traceCmd records one benchmark's workload run to a JSON trace file.
-func traceCmd(opts experiments.Options, benchmark, path string) error {
-	p, ok := workload.ByName(benchmark)
-	if !ok {
-		return fmt.Errorf("unknown benchmark %q (see table2 for names)", benchmark)
-	}
-	sys, err := core.New(core.Config{
-		Policy: quarantine.Policy{Fraction: opts.Fraction, MinBytes: 64 << 10},
-		Revoke: revoke.Config{Kernel: sim.KernelVector, UseCapDirty: true, Launder: true},
-	})
-	if err != nil {
-		return err
-	}
-	var tr workload.Trace
-	res, err := workload.Run(sys, p, workload.Options{
-		Seed:         opts.Seed,
-		MaxLiveBytes: opts.MaxLiveBytes,
-		MinSweeps:    opts.MinSweeps,
-		Record:       &tr,
-	})
-	if err != nil {
-		return err
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := tr.WriteJSON(f); err != nil {
-		return err
-	}
-	fmt.Printf("recorded %s: %d events (%d mallocs, %d frees, %d sweeps) -> %s\n",
-		benchmark, len(tr.Events), res.Mallocs, res.Frees, res.Sys.Stats().Sweeps, path)
-	return f.Close()
-}
-
-// replayCmd replays a JSON trace under both the CHERIvoke and direct-free
-// configurations, printing the comparison.
+// replayCmd streams a trace file (any encoding) under both the CHERIvoke
+// and direct-free configurations, printing the comparison. Each mode is a
+// separate streaming pass over the file; nothing is materialised.
 func replayCmd(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tr, err := workload.ReadTraceJSON(f)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("trace %q: %d events (seed %#x)\n", tr.Name, len(tr.Events), tr.Seed)
-	for _, mode := range []struct {
+	var hdr workload.TraceHeader
+	var events int
+	for i, mode := range []struct {
 		name string
 		cfg  core.Config
 	}{
@@ -191,12 +145,31 @@ func replayCmd(path string) error {
 		}},
 		{"direct-free", core.Config{DirectFree: true}},
 	} {
-		sys, err := core.New(mode.cfg)
+		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		if _, err := workload.Replay(sys, tr); err != nil {
+		tr, err := workload.NewTraceReader(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		sys, err := core.New(mode.cfg)
+		if err != nil {
+			tr.Close()
+			return err
+		}
+		src := workload.NewStreamingSource(tr, 0)
+		n, err := workload.ReplayStream(sys, src)
+		if cerr := tr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			return fmt.Errorf("replaying under %s: %w", mode.name, err)
+		}
+		if i == 0 {
+			hdr, events = src.Header(), n
+			fmt.Printf("trace %q: %d events (seed %#x)\n", hdr.Name, events, hdr.Seed)
 		}
 		st := sys.Stats()
 		fmt.Printf("  %-12s heap %6.2f MiB, %3d sweeps, %6d caps revoked, sweep time %8.3f ms\n",

@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownLink matches inline markdown links [text](target); images and
+// reference-style links are out of scope for the repo's docs.
+var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// docFiles returns README.md plus everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("reading docs/: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	return files
+}
+
+// TestDocsLinksResolve is the CI link-check: every relative link in
+// README.md and docs/*.md must point at a file (or directory) that exists
+// in the repo. External links are only checked for a well-formed scheme —
+// CI runs offline.
+func TestDocsLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := 0
+		for _, m := range markdownLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // intra-document anchor
+			}
+			links++
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", file, m[1], err)
+			}
+		}
+		t.Logf("%s: %d relative links checked", file, links)
+	}
+}
+
+// TestDocsAreLinkedFromReadme pins the acceptance requirement: the three
+// architecture documents exist and README links every one of them.
+func TestDocsAreLinkedFromReadme(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/API.md", "docs/TRACE_FORMAT.md"} {
+		if _, err := os.Stat(doc); err != nil {
+			t.Errorf("%s missing: %v", doc, err)
+			continue
+		}
+		if !strings.Contains(string(readme), "("+doc+")") {
+			t.Errorf("README.md does not link %s", doc)
+		}
+	}
+}

@@ -27,7 +27,7 @@ var csvHeader = []string{
 	"measured_free_rate_mib", "measured_frees_per_sec",
 	"peak_footprint", "heap_bytes", "sweep_traffic_bytes",
 	"dram_read_bytes", "dram_write_bytes", "offcore_bytes", "tag_dram_reads",
-	"error",
+	"trace_hash", "error",
 }
 
 // WriteCSV emits one row per job with the fixed csvHeader columns, in job
@@ -73,6 +73,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			strconv.FormatUint(traffic.DRAMWriteBytes, 10),
 			strconv.FormatUint(traffic.OffCoreBytes, 10),
 			strconv.FormatUint(traffic.TagDRAMReads, 10),
+			j.TraceHash,
 			j.Error,
 		}
 		if err := cw.Write(row); err != nil {

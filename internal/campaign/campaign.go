@@ -1,18 +1,3 @@
-// Package campaign is the experiment-campaign orchestrator: it expands a
-// declarative parameter-sweep specification (workload profiles × system
-// variants × quarantine fractions × heap scales × seeds) into an ordered
-// list of jobs, runs them on a bounded worker pool — one isolated
-// core.System per job — and aggregates the per-job results into artifacts
-// (JSON/CSV) and summary statistics.
-//
-// Determinism is the contract: job expansion order is fixed, every job is
-// self-seeded and shares no state with its siblings, and results are
-// aggregated by job ID, so a campaign's output is byte-identical whether it
-// runs on one worker or many. The worker pool only changes wall-clock time.
-//
-// internal/experiments builds every figure and table sweep of the paper's
-// evaluation on top of this package, and internal/server exposes it over
-// HTTP.
 package campaign
 
 import (
@@ -37,6 +22,22 @@ const (
 	TrafficX86   = "x86"   // Table 1's x86 hierarchy (8 MiB LLC)
 	TrafficCHERI = "cheri" // the FPGA prototype's hierarchy (256 KiB LLC)
 )
+
+// TraceProfile is the profile-axis sentinel used by trace-driven campaigns:
+// a job whose Profile is this value takes its timing metadata from the
+// trace's own recorded benchmark name. Specs with a TraceRef and an empty
+// profile axis default to it; explicit profile names are still allowed (the
+// trace supplies the events, the named profile the timing metadata — a
+// controlled comparison).
+const TraceProfile = "trace"
+
+// TraceOpener resolves a Spec.TraceRef to a streaming trace reader plus the
+// trace's full content hash (recorded in the job artifacts).
+// *workload.Store implements it; the CLI's -trace flag provides a
+// single-file implementation.
+type TraceOpener interface {
+	OpenTrace(ref string) (workload.TraceReader, string, error)
+}
 
 // Variant names one system configuration under test: the revocation sweep
 // setup plus the core-level deployment switches of the paper's §8
@@ -122,13 +123,34 @@ type Spec struct {
 	// variant's own laundering config is fine (SweepImageSelf runs after
 	// all ImageSweeps).
 	ImageSweeps []revoke.Config `json:"image_sweeps,omitempty"`
+
+	// TraceRef, when set, replaces the workload generator: every job
+	// streams the referenced trace (resolved through RunOptions.Traces —
+	// a content hash against the server's store, or whatever ref the
+	// configured opener understands) instead of synthesising events from
+	// its profile. MinSweeps and MaxEvents do not apply — the trace *is*
+	// the event sequence — so multi-valued Seeds and MaxLive axes are
+	// rejected (they would expand into identical duplicate jobs), as is
+	// ScaledStartup (the recording's heap scale is not part of the
+	// trace). Variants and Fractions still sweep: they configure the
+	// system the trace replays against.
+	TraceRef string `json:"trace_ref,omitempty"`
+
+	// TraceWindow is the streaming replay's event-window size (0 = the
+	// codec default of 4096 events). It bounds the replay's peak event
+	// buffer and never changes results.
+	TraceWindow int `json:"trace_window,omitempty"`
 }
 
 // withDefaults resolves empty axes. It is idempotent; Run normalises the
 // Spec once so the Result always embeds the resolved form.
 func (s Spec) withDefaults() Spec {
 	if len(s.Profiles) == 0 {
-		s.Profiles = workload.Names(workload.All())
+		if s.TraceRef != "" {
+			s.Profiles = []string{TraceProfile}
+		} else {
+			s.Profiles = workload.Names(workload.All())
+		}
 	}
 	if len(s.Variants) == 0 {
 		s.Variants = []Variant{PaperVariant()}
@@ -175,6 +197,10 @@ type Job struct {
 	ScaledStartup      bool   `json:"scaled_startup,omitempty"`
 	Baseline           bool   `json:"baseline,omitempty"`
 	Traffic            string `json:"traffic,omitempty"`
+
+	// TraceRef, when set, makes the job a streamed trace replay instead
+	// of a generated workload (see Spec.TraceRef).
+	TraceRef string `json:"trace_ref,omitempty"`
 }
 
 // Jobs expands the spec into its deterministic job list. Axis order is
@@ -182,9 +208,24 @@ type Job struct {
 func (s Spec) Jobs() ([]Job, error) {
 	s = s.withDefaults()
 	for _, name := range s.Profiles {
+		if s.TraceRef != "" && name == TraceProfile {
+			continue // sentinel: timing metadata comes from the trace header
+		}
 		if _, ok := workload.ByName(name); !ok {
 			return nil, fmt.Errorf("campaign: unknown profile %q", name)
 		}
+	}
+	if s.TraceRef != "" && s.ScaledStartup {
+		return nil, fmt.Errorf("campaign: scaled_startup requires generated workloads (the heap scale is not recorded in a trace)")
+	}
+	if s.TraceRef != "" && len(s.Seeds) > 1 {
+		return nil, fmt.Errorf("campaign: a seeds axis is inert for trace replays (the trace fixes the event sequence); remove it")
+	}
+	if s.TraceRef != "" && len(s.MaxLive) > 1 {
+		return nil, fmt.Errorf("campaign: a max_live axis is inert for trace replays (the trace fixes the heap); remove it")
+	}
+	if s.TraceWindow < 0 {
+		return nil, fmt.Errorf("campaign: negative trace window %d", s.TraceWindow)
 	}
 	for _, f := range s.Fractions {
 		if f <= 0 {
@@ -220,6 +261,7 @@ func (s Spec) Jobs() ([]Job, error) {
 							ScaledStartup:      s.ScaledStartup,
 							Baseline:           s.Baseline,
 							Traffic:            s.Traffic,
+							TraceRef:           s.TraceRef,
 						})
 					}
 				}

@@ -51,6 +51,12 @@ type JobResult struct {
 	// per-level hit/miss/write-back counters.
 	Traffic *TrafficReport `json:"traffic,omitempty"`
 
+	// TraceHash is the full content hash of the streamed trace a
+	// TraceRef job replayed, as resolved by the trace opener — artifacts
+	// name the exact input bytes, not just the (possibly abbreviated)
+	// ref.
+	TraceHash string `json:"trace_hash,omitempty"`
+
 	// Figure 6 cumulative bars (normalised execution time).
 	QuarantineOnly float64 `json:"quarantine_only"`
 	PlusShadow     float64 `json:"plus_shadow"`
@@ -95,10 +101,32 @@ func failed(job Job, err error) JobResult {
 	return JobResult{Job: job, Error: err.Error()}
 }
 
+// jobConfig builds the job's isolated system configuration. The job owns
+// its hierarchy: a hierarchy smuggled in through the variant's revoke
+// config would be shared by every job in the campaign — a data race on the
+// pool and a determinism leak — so it is dropped and rebuilt per job from
+// the declarative Traffic model instead.
+func jobConfig(job Job) core.Config {
+	cfg := core.Config{
+		Policy:          quarantine.Policy{Fraction: job.Fraction, MinBytes: job.QuarantineMinBytes},
+		Revoke:          job.Variant.Revoke,
+		DirectFree:      job.Variant.DirectFree,
+		ConcurrentSweep: job.Variant.ConcurrentSweep,
+		UnmapLarge:      job.Variant.UnmapLarge,
+		Alloc:           alloc.Options{TypedReuse: job.Variant.TypedReuse},
+	}
+	cfg.Revoke.Hierarchy = newHierarchy(job.Traffic)
+	return cfg
+}
+
 // runJob executes one job in isolation: it builds a fresh system from the
-// job's parameters, replays the workload, and measures everything the
+// job's parameters, runs the workload — generated from the job's profile,
+// or streamed from the spec's trace — and measures everything the
 // aggregations need. It shares no state with other jobs.
-func runJob(spec Spec, job Job) JobResult {
+func runJob(spec Spec, job Job, traces TraceOpener) JobResult {
+	if job.TraceRef != "" {
+		return runTraceJob(spec, job, traces)
+	}
 	p, ok := workload.ByName(job.Profile)
 	if !ok {
 		return failed(job, fmt.Errorf("campaign: unknown profile %q", job.Profile))
@@ -109,19 +137,7 @@ func runJob(spec Spec, job Job) JobResult {
 		MinSweeps:    job.MinSweeps,
 		MaxEvents:    job.MaxEvents,
 	}
-	cfg := core.Config{
-		Policy:          quarantine.Policy{Fraction: job.Fraction, MinBytes: job.QuarantineMinBytes},
-		Revoke:          job.Variant.Revoke,
-		DirectFree:      job.Variant.DirectFree,
-		ConcurrentSweep: job.Variant.ConcurrentSweep,
-		UnmapLarge:      job.Variant.UnmapLarge,
-		Alloc:           alloc.Options{TypedReuse: job.Variant.TypedReuse},
-	}
-	// The job owns its hierarchy. A hierarchy smuggled in through the
-	// variant's revoke config would be shared by every job in the campaign
-	// — a data race on the pool and a determinism leak — so it is dropped
-	// and rebuilt per job from the declarative Traffic model instead.
-	cfg.Revoke.Hierarchy = newHierarchy(job.Traffic)
+	cfg := jobConfig(job)
 	if job.ScaledStartup {
 		m := sim.X86()
 		m.SweepStartup *= workload.Scale(p, wopts)
@@ -136,6 +152,81 @@ func runJob(spec Spec, job Job) JobResult {
 		return failed(job, err)
 	}
 
+	jr := assemble(job, sys, cfg, res)
+
+	if job.Baseline && !job.Variant.DirectFree {
+		if err := runBaseline(&jr, p, job); err != nil {
+			return failed(job, err)
+		}
+	}
+	if err := imageSweeps(spec, job, sys, &jr); err != nil {
+		return failed(job, err)
+	}
+	return jr
+}
+
+// runTraceJob executes a TraceRef job: the referenced trace is streamed
+// from the opener in bounded event windows and replayed against the job's
+// system — the event sequence comes from the trace, the timing metadata
+// from the job's profile (or the trace's own recorded profile for the
+// TraceProfile sentinel).
+func runTraceJob(spec Spec, job Job, traces TraceOpener) JobResult {
+	if traces == nil {
+		return failed(job, fmt.Errorf("campaign: job references trace %q but no trace opener is configured", job.TraceRef))
+	}
+	tr, hash, err := traces.OpenTrace(job.TraceRef)
+	if err != nil {
+		return failed(job, err)
+	}
+	defer tr.Close()
+	src := workload.NewStreamingSource(tr, spec.TraceWindow)
+	p := traceProfile(job, src.Header())
+
+	cfg := jobConfig(job)
+	sys, err := core.New(cfg)
+	if err != nil {
+		return failed(job, err)
+	}
+	res, err := workload.RunStream(sys, src, p)
+	if err != nil {
+		return failed(job, err)
+	}
+
+	jr := assemble(job, sys, cfg, res)
+	jr.TraceHash = hash
+
+	if job.Baseline && !job.Variant.DirectFree {
+		if err := runTraceBaseline(&jr, spec, job, traces); err != nil {
+			return failed(job, err)
+		}
+	}
+	if err := imageSweeps(spec, job, sys, &jr); err != nil {
+		return failed(job, err)
+	}
+	return jr
+}
+
+// traceProfile resolves the timing-metadata profile for a trace job: the
+// job's explicit profile, or — for the TraceProfile sentinel — the profile
+// the trace header names. A name matching no known profile yields a bare
+// profile (nominal timing window), not an error: replaying foreign traces
+// is the point of the ingestion pipeline.
+func traceProfile(job Job, hdr workload.TraceHeader) workload.Profile {
+	name := job.Profile
+	if name == TraceProfile {
+		name = hdr.Name
+	}
+	if p, ok := workload.ByName(name); ok {
+		return p
+	}
+	if name == "" {
+		name = TraceProfile
+	}
+	return workload.Profile{Name: name}
+}
+
+// assemble builds the JobResult common to generated and trace-driven jobs.
+func assemble(job Job, sys *core.System, cfg core.Config, res workload.Result) JobResult {
 	jr := JobResult{
 		Job:                 job,
 		AppSeconds:          res.AppSeconds,
@@ -161,34 +252,31 @@ func runJob(spec Spec, job Job) JobResult {
 		jr.Traffic = &TrafficReport{Model: job.Traffic, HierarchyStats: h.Stats(), Levels: h.Levels()}
 	}
 	jr.QuarantineOnly, jr.PlusShadow, jr.PlusSweep = decompose(jr.Stats, res)
+	return jr
+}
 
-	if job.Baseline && !job.Variant.DirectFree {
-		if err := runBaseline(&jr, p, job); err != nil {
-			return failed(job, err)
-		}
-	}
-
-	// Post-run image sweeps: the shadow map is empty after the last
-	// drain, so nothing is revoked and the heap image is unchanged.
-	// The launder-free ImageSweeps (enforced by Jobs) run first; the
-	// self-sweep runs last because a laundering variant configuration
-	// clears CapDirty bits on capability-free pages, which would skew
-	// any CapDirty-guided sweep after it.
+// imageSweeps runs the post-run image sweeps: the shadow map is empty after
+// the last drain, so nothing is revoked and the heap image is unchanged.
+// The launder-free ImageSweeps (enforced by Jobs) run first; the self-sweep
+// runs last because a laundering variant configuration clears CapDirty bits
+// on capability-free pages, which would skew any CapDirty-guided sweep
+// after it.
+func imageSweeps(spec Spec, job Job, sys *core.System, jr *JobResult) error {
 	for _, cfg := range spec.ImageSweeps {
 		st, err := revoke.New(sys.Mem(), sys.Shadow(), cfg).Sweep(nil)
 		if err != nil {
-			return failed(job, err)
+			return err
 		}
 		jr.ImageSweeps = append(jr.ImageSweeps, st)
 	}
 	if spec.SweepImageSelf {
 		st, err := revoke.New(sys.Mem(), sys.Shadow(), job.Variant.Revoke).Sweep(nil)
 		if err != nil {
-			return failed(job, err)
+			return err
 		}
 		jr.ImageSweepSelf = &st
 	}
-	return jr
+	return nil
 }
 
 // decompose computes the Figure 6 cumulative bars from a run: quarantine
@@ -223,6 +311,34 @@ func runBaseline(jr *JobResult, p workload.Profile, job Job) error {
 	})
 	if err != nil {
 		return fmt.Errorf("baseline run: %w", err)
+	}
+	jr.BaselinePeakFootprint = res.PeakFootprint
+	jr.MemoryOverhead = 1.0
+	if res.PeakFootprint > 0 && jr.PeakFootprint > 0 {
+		if over := float64(jr.PeakFootprint) / float64(res.PeakFootprint); over > 1 {
+			jr.MemoryOverhead = over
+		}
+	}
+	return nil
+}
+
+// runTraceBaseline is runBaseline for trace jobs: the identical event
+// stream replayed against the insecure direct-free system. No event bound
+// is needed — the trace is the bound.
+func runTraceBaseline(jr *JobResult, spec Spec, job Job, traces TraceOpener) error {
+	tr, _, err := traces.OpenTrace(job.TraceRef)
+	if err != nil {
+		return fmt.Errorf("baseline trace: %w", err)
+	}
+	defer tr.Close()
+	src := workload.NewStreamingSource(tr, spec.TraceWindow)
+	sys, err := core.New(core.Config{DirectFree: true})
+	if err != nil {
+		return err
+	}
+	res, err := workload.RunStream(sys, src, traceProfile(job, src.Header()))
+	if err != nil {
+		return fmt.Errorf("baseline replay: %w", err)
 	}
 	jr.BaselinePeakFootprint = res.PeakFootprint
 	jr.MemoryOverhead = 1.0

@@ -18,6 +18,12 @@ type RunOptions struct {
 	// are serialised and Done is monotonic, but — by the nature of the
 	// pool — not necessarily in job-ID order.
 	OnProgress func(Progress)
+
+	// Traces resolves Spec.TraceRef for trace-driven campaigns. Each job
+	// opens its own reader, so a spec's trace may be streamed by many
+	// jobs concurrently. Required when (and only when) the spec sets a
+	// TraceRef.
+	Traces TraceOpener
 }
 
 // Progress describes one completed job.
@@ -88,6 +94,9 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.TraceRef != "" && opts.Traces == nil {
+		return nil, fmt.Errorf("campaign: spec references trace %q but RunOptions.Traces is nil", spec.TraceRef)
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -106,7 +115,7 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobCh {
-				jr := runJob(spec, jobs[i])
+				jr := runJob(spec, jobs[i], opts.Traces)
 				results[i] = jr
 				mu.Lock()
 				done++

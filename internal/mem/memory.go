@@ -355,6 +355,10 @@ func (m *Memory) CapDirtyPages() []uint64 {
 	return out
 }
 
+// PageCount returns the number of mapped pages, without materialising the
+// page list the way AllPages does.
+func (m *Memory) PageCount() uint64 { return uint64(len(m.pages)) }
+
 // AllPages returns the sorted base addresses of every mapped page.
 func (m *Memory) AllPages() []uint64 {
 	out := make([]uint64, 0, len(m.pages))

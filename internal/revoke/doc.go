@@ -1,0 +1,26 @@
+// Package revoke implements CHERIvoke's revocation sweep (§3.3–§3.5 of the
+// paper): a walk over all capability-bearing memory and the register file
+// that looks up the base of every tagged capability in the revocation shadow
+// map and clears the tag of any capability pointing into quarantined space.
+//
+// The sweep is functional — tags really are cleared on the simulated memory
+// — and simultaneously produces the event counts (words examined, lines
+// fetched, probes issued, page runs entered) that internal/sim prices into
+// simulated seconds, and that the cache hierarchy model turns into DRAM
+// traffic for Figure 10.
+//
+// Work-elimination levels (§3.4):
+//   - PTE CapDirty: only pages whose page-table entry records a capability
+//     store are swept at all;
+//   - CLoadTags: within a swept page, lines whose tag probe returns zero are
+//     skipped without fetching data.
+//
+// The sweep consumes its page set as an iterator (Sweeper.SweepPages):
+// counting, run detection, and the shard-window partition all happen in one
+// pass over the sequence, so a page source never needs to be materialised
+// twice. Sweep is the convenience wrapper that feeds it the simulated
+// memory's mapped (or CapDirty-filtered) page list. Partitioning assigns
+// whole tag-line coverage windows to shards in arrival order, which keeps
+// the merged statistics — DRAM traffic included — byte-identical for any
+// shard count and for streamed versus in-memory workload input alike.
+package revoke

@@ -2,6 +2,7 @@ package revoke
 
 import (
 	"math/rand"
+	"slices"
 	"sync"
 	"testing"
 
@@ -231,7 +232,7 @@ func TestPartitionByTagWindow(t *testing.T) {
 		pages = append(pages, heapBase+p*mem.PageSize)
 	}
 	for _, shards := range []int{1, 2, 3, 4, 8} {
-		parts := partitionByTagWindow(pages, shards)
+		parts, _, _ := partitionByTagWindow(slices.Values(pages), shards)
 		windowShard := map[uint64]int{}
 		seen := map[uint64]bool{}
 		total := 0

@@ -1,23 +1,8 @@
-// Package revoke implements CHERIvoke's revocation sweep (§3.3–§3.5 of the
-// paper): a walk over all capability-bearing memory and the register file
-// that looks up the base of every tagged capability in the revocation shadow
-// map and clears the tag of any capability pointing into quarantined space.
-//
-// The sweep is functional — tags really are cleared on the simulated memory
-// — and simultaneously produces the event counts (words examined, lines
-// fetched, probes issued, page runs entered) that internal/sim prices into
-// simulated seconds, and that the cache hierarchy model turns into DRAM
-// traffic for Figure 10.
-//
-// Work-elimination levels (§3.4):
-//   - PTE CapDirty: only pages whose page-table entry records a capability
-//     store are swept at all;
-//   - CLoadTags: within a swept page, lines whose tag probe returns zero are
-//     skipped without fetching data.
 package revoke
 
 import (
 	"fmt"
+	"iter"
 	"slices"
 	"sync"
 
@@ -162,6 +147,26 @@ func (s *Sweeper) Config() Config { return s.cfg }
 // supplied register file. Registers are updated in place: a register holding
 // a revoked capability has its tag cleared, exactly like a memory word.
 func (s *Sweeper) Sweep(regs []cap.Capability) (Stats, error) {
+	var pages []uint64
+	if s.cfg.UseCapDirty {
+		pages = s.mem.CapDirtyPages()
+	} else {
+		pages = s.mem.AllPages()
+	}
+	stats, err := s.SweepPages(slices.Values(pages), regs)
+	stats.PagesTotal = s.mem.PageCount()
+	stats.PagesSkipped = stats.PagesTotal - stats.PagesSwept
+	return stats, err
+}
+
+// SweepPages sweeps exactly the pages the iterator yields (sorted base
+// addresses) plus the register file. The sequence is consumed in a single
+// pass that counts pages, detects contiguous runs, and partitions whole
+// tag-line coverage windows across the shards, so callers can feed page
+// sets from any source — the simulated memory, a streamed page table —
+// without materialising them twice. Stats.PagesTotal and PagesSkipped are
+// the caller's to fill: this function only knows what it swept.
+func (s *Sweeper) SweepPages(pages iter.Seq[uint64], regs []cap.Capability) (Stats, error) {
 	var stats Stats
 
 	// Register file first: cheap and always fully scanned (§3.3 "the
@@ -178,17 +183,11 @@ func (s *Sweeper) Sweep(regs []cap.Capability) (Stats, error) {
 		}
 	}
 
-	pages := s.mem.AllPages()
-	stats.PagesTotal = uint64(len(pages))
-	swept := pages
-	if s.cfg.UseCapDirty {
-		swept = s.mem.CapDirtyPages()
-		stats.PagesSkipped = stats.PagesTotal - uint64(len(swept))
-	}
-	stats.PagesSwept = uint64(len(swept))
-	stats.PageRuns = countRuns(swept)
+	parts, swept, runs := partitionByTagWindow(pages, s.cfg.Shards)
+	stats.PagesSwept = swept
+	stats.PageRuns = runs
 
-	revoked, err := s.sweepSharded(swept, &stats)
+	revoked, err := s.sweepSharded(parts, &stats)
 	if err != nil {
 		return stats, err
 	}
@@ -210,13 +209,18 @@ func (s *Sweeper) Sweep(regs []cap.Capability) (Stats, error) {
 	}
 
 	if s.cfg.Launder {
-		for _, base := range swept {
-			cleaned, err := s.mem.LaunderCapDirty(base)
-			if err != nil {
-				return stats, err
-			}
-			if cleaned {
-				stats.PagesLaunder++
+		// Walk the shard partition (fixed for a given page set), not the
+		// original order: laundering is per-page independent, so the set
+		// cleaned — and the count — is identical either way.
+		for _, part := range parts {
+			for _, base := range part {
+				cleaned, err := s.mem.LaunderCapDirty(base)
+				if err != nil {
+					return stats, err
+				}
+				if cleaned {
+					stats.PagesLaunder++
+				}
 			}
 		}
 	}
@@ -233,23 +237,19 @@ type shardResult struct {
 	err     error
 }
 
-// sweepSharded walks the page list with cfg.Shards workers (§3.5: "pages to
-// sweep can be distributed between independent threads; the shared shadow
-// map is read-only during the sweep") and merges the per-shard results in
-// shard-index order. One shard runs inline; more run as goroutines, each
-// reading memory and the shadow map concurrently and replaying traffic into
-// its own cold hierarchy clone. Revocations are applied serially by the
-// caller.
+// sweepSharded walks the partitioned page lists with cfg.Shards workers
+// (§3.5: "pages to sweep can be distributed between independent threads;
+// the shared shadow map is read-only during the sweep") and merges the
+// per-shard results in shard-index order. One shard runs inline; more run
+// as goroutines, each reading memory and the shadow map concurrently and
+// replaying traffic into its own cold hierarchy clone. Revocations are
+// applied serially by the caller.
 //
 // Determinism: partitionByTagWindow keeps every tag-line coverage window
 // inside one shard and the replay has no cross-line reuse, so the merged
 // stats — traffic included — are byte-identical for any shard count.
-func (s *Sweeper) sweepSharded(pages []uint64, stats *Stats) ([]uint64, error) {
-	shards := s.cfg.Shards
-	if shards < 1 {
-		shards = 1
-	}
-	parts := partitionByTagWindow(pages, shards)
+func (s *Sweeper) sweepSharded(parts [][]uint64, stats *Stats) ([]uint64, error) {
+	shards := len(parts)
 	results := make([]shardResult, shards)
 	if s.cfg.Hierarchy != nil {
 		for len(s.shardClones) < shards {
@@ -307,24 +307,35 @@ func (s *Sweeper) sweepSharded(pages []uint64, stats *Stats) ([]uint64, error) {
 	return revoked, nil
 }
 
-// partitionByTagWindow splits the sorted page list into shards, assigning
-// whole tag-line coverage windows (mem.TagLineCoverage bytes, 2 pages)
-// round-robin by window index. Keeping a window's pages in one shard is what
-// makes CLoadTags tag-cache behaviour — and therefore the replayed traffic —
-// independent of the shard count: a tag line is only ever reused within its
-// own window, and that window is walked contiguously by a single shard.
-func partitionByTagWindow(pages []uint64, shards int) [][]uint64 {
-	parts := make([][]uint64, shards)
+// partitionByTagWindow consumes a sorted page sequence in one pass,
+// splitting it into shards by assigning whole tag-line coverage windows
+// (mem.TagLineCoverage bytes, 2 pages) round-robin by window index, while
+// simultaneously counting the pages and their maximal contiguous runs.
+// Keeping a window's pages in one shard is what makes CLoadTags tag-cache
+// behaviour — and therefore the replayed traffic — independent of the shard
+// count: a tag line is only ever reused within its own window, and that
+// window is walked contiguously by a single shard.
+func partitionByTagWindow(pages iter.Seq[uint64], shards int) (parts [][]uint64, count, runs uint64) {
+	if shards < 1 {
+		shards = 1
+	}
+	parts = make([][]uint64, shards)
 	window := ^uint64(0)
 	idx := -1
-	for _, p := range pages {
+	prev := ^uint64(0)
+	for p := range pages {
 		if w := p / mem.TagLineCoverage; w != window {
 			window = w
 			idx++
 		}
 		parts[idx%shards] = append(parts[idx%shards], p)
+		if count == 0 || p != prev+mem.PageSize {
+			runs++
+		}
+		prev = p
+		count++
 	}
-	return parts
+	return parts, count, runs
 }
 
 // sweepOnePage walks one page, accumulating into the shard-private stats and
@@ -378,15 +389,4 @@ func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64, h *
 		}
 	}
 	return nil
-}
-
-// countRuns counts maximal runs of contiguous pages in a sorted page list.
-func countRuns(pages []uint64) uint64 {
-	var runs uint64
-	for i, p := range pages {
-		if i == 0 || p != pages[i-1]+mem.PageSize {
-			runs++
-		}
-	}
-	return runs
 }

@@ -2,6 +2,7 @@ package revoke
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -343,7 +344,7 @@ func TestQuickSweepExactness(t *testing.T) {
 	}
 }
 
-func TestCountRuns(t *testing.T) {
+func TestPartitionCountsRuns(t *testing.T) {
 	p := mem.PageSize
 	cases := []struct {
 		pages []uint64
@@ -356,8 +357,14 @@ func TestCountRuns(t *testing.T) {
 		{[]uint64{0, uint64(p), uint64(3 * p), uint64(4 * p), uint64(10 * p)}, 3},
 	}
 	for _, c := range cases {
-		if got := countRuns(c.pages); got != c.want {
-			t.Errorf("countRuns(%v) = %d, want %d", c.pages, got, c.want)
+		for _, shards := range []int{1, 3} {
+			_, count, runs := partitionByTagWindow(slices.Values(c.pages), shards)
+			if runs != c.want {
+				t.Errorf("partition(%v, %d) runs = %d, want %d", c.pages, shards, runs, c.want)
+			}
+			if count != uint64(len(c.pages)) {
+				t.Errorf("partition(%v, %d) count = %d, want %d", c.pages, shards, count, len(c.pages))
+			}
 		}
 	}
 }

@@ -1,0 +1,21 @@
+// Package server is the HTTP front-end of the campaign subsystem: it
+// accepts campaign specs over POST, runs each campaign asynchronously on
+// internal/campaign's worker pool, streams per-job progress over
+// server-sent events, serves the aggregated JSON/CSV artifacts, and ingests
+// workload traces into a content-addressed store that campaign specs
+// reference by hash (Spec.TraceRef).
+//
+//	POST   /campaigns              submit a campaign        -> 202 + id
+//	GET    /campaigns              list campaign statuses
+//	GET    /campaigns/{id}         one campaign's status
+//	GET    /campaigns/{id}/results artifacts (?format=csv)  -> 409 until done
+//	GET    /campaigns/{id}/events  SSE progress stream
+//	DELETE /campaigns/{id}         cancel a running campaign
+//	POST   /traces                 upload a trace (streamed) -> 201 + hash
+//	GET    /traces                 list stored traces
+//	GET    /traces/{hash}          one trace's metadata
+//	GET    /healthz                liveness probe
+//
+// The full request/response reference, with curl examples, is
+// docs/API.md.
+package server

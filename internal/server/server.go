@@ -1,15 +1,3 @@
-// Package server is the HTTP front-end of the campaign subsystem: it
-// accepts campaign specs over POST, runs each campaign asynchronously on
-// internal/campaign's worker pool, streams per-job progress over
-// server-sent events, and serves the aggregated JSON/CSV artifacts.
-//
-//	POST   /campaigns              submit a campaign        -> 202 + id
-//	GET    /campaigns              list campaign statuses
-//	GET    /campaigns/{id}         one campaign's status
-//	GET    /campaigns/{id}/results artifacts (?format=csv)  -> 409 until done
-//	GET    /campaigns/{id}/events  SSE progress stream
-//	DELETE /campaigns/{id}         cancel a running campaign
-//	GET    /healthz                liveness probe
 package server
 
 import (
@@ -28,12 +16,19 @@ type Options struct {
 	// Workers is the default per-campaign worker-pool width for requests
 	// that do not specify one (0 = GOMAXPROCS).
 	Workers int
+
+	// TraceDir roots the content-addressed trace store behind the
+	// /traces endpoints. Empty means a temporary directory created on
+	// first use (uploads survive for the process lifetime only, like the
+	// in-memory campaign registry).
+	TraceDir string
 }
 
 // Server owns the campaign registry. All fields are guarded by mu; the
 // campaign runs themselves happen on background goroutines.
 type Server struct {
-	opts Options
+	opts   Options
+	traces traceStoreState
 
 	mu        sync.Mutex
 	seq       int
@@ -53,6 +48,7 @@ type campaignState struct {
 	id      string
 	spec    campaign.Spec
 	workers int
+	traces  campaign.TraceOpener
 
 	mu         sync.Mutex
 	state      string
@@ -83,6 +79,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("POST /traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /traces", s.handleTraceList)
+	mux.HandleFunc("GET /traces/{hash}", s.handleTraceInfo)
 	return mux
 }
 
@@ -133,6 +132,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	var traces campaign.TraceOpener
+	if req.Spec.TraceRef != "" {
+		store, err := s.traceStore()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		// Resolve now so a bad ref fails the submission, not every job.
+		if _, err := store.Stat(req.Spec.TraceRef); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		traces = store
+	}
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.opts.Workers
@@ -146,6 +159,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id:      id,
 		spec:    req.Spec,
 		workers: workers,
+		traces:  traces,
 		state:   StateRunning,
 		total:   len(jobs),
 		created: time.Now().UTC(),
@@ -166,6 +180,7 @@ func (c *campaignState) run(ctx context.Context) {
 	res, err := campaign.Run(ctx, c.spec, campaign.RunOptions{
 		Workers:    c.workers,
 		OnProgress: c.onProgress,
+		Traces:     c.traces,
 	})
 
 	c.mu.Lock()

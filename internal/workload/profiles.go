@@ -1,26 +1,3 @@
-// Package workload defines the 17 benchmark workload profiles of the paper's
-// evaluation (SPEC CPU2006 subset + ffmpeg) and a deterministic synthetic
-// allocation-trace generator that drives the CHERIvoke system to match each
-// profile's measured deallocation behaviour.
-//
-// The profiles carry two kinds of numbers:
-//
-//   - measured values from Table 2 of the paper (pages-with-pointers %,
-//     free rate in MiB/s, frees per second): these are reproduction targets
-//     — the generator is parameterised so the replayed trace reproduces
-//     them, and the Table 2 experiment reports generated-vs-paper values;
-//
-//   - synthetic parameters the paper does not publish (live-heap size,
-//     lifetime mixing, cache-reuse factor): these are chosen to be plausible
-//     for the SPEC reference inputs and are documented here; the figures'
-//     *shapes* depend on the Table 2 quantities, not on these.
-//
-// Since the real benchmarks use multi-GiB heaps that would be wasteful to
-// simulate tag-for-tag, the runner scales each workload's live heap down
-// (keeping free rate and densities fixed). §6.1.3's analytic model shows the
-// runtime overhead FreeRate·PointerDensity/(ScanRate·QuarantineFraction) is
-// invariant under this scaling: sweeps become proportionally smaller and
-// more frequent.
 package workload
 
 // Profile describes one benchmark workload.

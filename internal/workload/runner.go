@@ -31,11 +31,18 @@ type Options struct {
 	// Record, when non-nil, accumulates the run's exact event sequence
 	// for later Replay or serialisation.
 	Record *Trace
+
+	// Stream, when non-nil, receives the run's events as they are
+	// generated — the generator-to-stream adapter. Unlike Record, nothing
+	// is materialised: `trace record` pipes arbitrarily long runs through
+	// a codec with constant memory. The caller creates the writer (and
+	// its header) and closes it after Run returns.
+	Stream TraceWriter
 }
 
 func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
-		o.Seed = 0xC0FFEE
+		o.Seed = DefaultSeed
 	}
 	if o.MaxLiveBytes == 0 {
 		o.MaxLiveBytes = 24 << 20
@@ -125,15 +132,18 @@ func Run(sys *core.System, p Profile, opts Options) (Result, error) {
 	res.Scale = Scale(p, opts)
 
 	g := newPlanter(p, r)
-	rec := &recorder{tr: opts.Record}
+	rec := &recorder{tr: opts.Record, w: opts.Stream}
 	if opts.Record != nil {
 		opts.Record.Name = p.Name
 		opts.Record.Seed = opts.Seed
 	}
 
-	// Build-up phase: reach the steady-state live heap.
+	// Build-up phase: reach the steady-state live heap. A dead Stream
+	// sink (e.g. a closed pipe) aborts the loops promptly — there is no
+	// point simulating a run whose recording is already lost; the
+	// latched error is surfaced below.
 	var live liveSet
-	for sys.LiveBytes() < targetLive {
+	for sys.LiveBytes() < targetLive && rec.err == nil {
 		if err := g.allocate(sys, &live, rec); err != nil {
 			return res, err
 		}
@@ -142,7 +152,7 @@ func Run(sys *core.System, p Profile, opts Options) (Result, error) {
 
 	// Churn phase.
 	if p.AllocIntensive() {
-		for ev := 0; ev < opts.MaxEvents; ev++ {
+		for ev := 0; ev < opts.MaxEvents && rec.err == nil; ev++ {
 			if int(sys.Stats().Sweeps) >= opts.MinSweeps {
 				break
 			}
@@ -168,12 +178,29 @@ func Run(sys *core.System, p Profile, opts Options) (Result, error) {
 	if fp := sys.MemoryFootprint(); fp > res.PeakFootprint {
 		res.PeakFootprint = fp
 	}
+	if rec.err != nil {
+		return res, fmt.Errorf("workload: streaming trace events: %w", rec.err)
+	}
 
-	// Simulated application time: the churn freed FreedBytes at the
-	// profile's (unscaled) free rate. Scaling the heap down makes sweeps
-	// proportionally smaller and more frequent, leaving the overhead
-	// ratio invariant (§6.1.3). Non-allocating profiles get a nominal
-	// window.
+	finishMeasurement(sys, p, &res)
+	return res, nil
+}
+
+// finishMeasurement computes the post-run measurements shared by generated
+// (Run) and streamed (RunStream) replays — keeping them in one place is
+// what keeps the two paths' results provably interchangeable
+// (TestTraceCampaignMatchesGenerator).
+//
+//   - Simulated application time: the churn freed FreedBytes at the
+//     profile's (unscaled) free rate. Scaling the heap down makes sweeps
+//     proportionally smaller and more frequent, leaving the overhead ratio
+//     invariant (§6.1.3). Non-allocating profiles get a nominal window.
+//   - Table 2 densities are measured "when the quarantine buffer is full"
+//     (§5.3): average the per-sweep samples, falling back to the end state
+//     for runs that never swept.
+//   - Quarantine cache effect: each sweep reported its shared-line count
+//     (§6.1.1).
+func finishMeasurement(sys *core.System, p Profile, res *Result) {
 	if p.FreeRateMiB >= 0.5 && res.FreedBytes > 0 {
 		res.AppSeconds = float64(res.FreedBytes) / (p.FreeRateMiB * (1 << 20))
 	} else {
@@ -184,9 +211,6 @@ func Run(sys *core.System, p Profile, opts Options) (Result, error) {
 		res.MeasuredFreesPerSec = float64(res.Frees) / res.AppSeconds
 	}
 
-	// Table 2 densities are measured "when the quarantine buffer is full"
-	// (§5.3): average the per-sweep samples, falling back to the end
-	// state for runs that never swept.
 	if reports := sys.Reports(); len(reports) > 0 {
 		for _, rep := range reports {
 			res.MeasuredPageDensity += rep.PageDensity
@@ -198,13 +222,11 @@ func Run(sys *core.System, p Profile, opts Options) (Result, error) {
 		res.MeasuredPageDensity, res.MeasuredLineDensity = MeasureDensity(sys.Mem())
 	}
 
-	// Quarantine cache effect: each sweep reported its shared-line count.
 	machine := sys.Machine()
 	for _, rep := range sys.Reports() {
 		res.CacheEffectSeconds += float64(rep.SharedLines) * p.CacheReuse * machine.LLCMissPenalty
 	}
 	res.Sys = sys
-	return res, nil
 }
 
 // MeasureDensity returns the heap's current page- and line-granularity

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzBinaryTraceDecode throws arbitrary bytes at the sniffing reader and
+// the binary decoder. Invariants under fuzz:
+//
+//   - no panic and no unbounded allocation (payload and name lengths are
+//     capped before being trusted);
+//   - decode is a function of the bytes: decoding twice yields identical
+//     results;
+//   - decode∘encode∘decode = decode: any stream that decodes cleanly
+//     re-encodes to a stream that decodes to the same events.
+func FuzzBinaryTraceDecode(f *testing.F) {
+	// Seed corpus: valid traces of both flavours plus targeted mutations.
+	for seed := int64(1); seed <= 3; seed++ {
+		tr := syntheticTrace(seed, int(seed)*50)
+		var buf bytes.Buffer
+		w, err := NewBinaryTraceWriter(&buf, TraceHeader{Name: tr.Name, Seed: tr.Seed})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := WriteTrace(w, tr); err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2]) // truncated
+		mut := bytes.Clone(buf.Bytes())
+		mut[len(mut)/2] ^= 0xFF // flipped mid-stream byte
+		f.Add(mut)
+	}
+	f.Add([]byte(TraceMagic))
+	f.Add(append([]byte(TraceMagic), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)) // uvarint overflow-ish header
+	var hostile []byte
+	hostile = append(hostile, TraceMagic...)
+	hostile = binary.AppendUvarint(hostile, TraceVersion)
+	hostile = binary.AppendUvarint(hostile, 1)
+	hostile = binary.AppendUvarint(hostile, 1<<40) // absurd name length
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, err1 := fuzzDecode(data)
+		second, err2 := fuzzDecode(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("decode determinism: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatal("decode determinism: events diverge")
+		}
+		// The sniffer also accepts legacy JSON, which performs no event
+		// validation — a document with an op outside {m,p,f}, a negative
+		// ref, or an oversized name decodes but is not binary-encodable.
+		// The re-encode property only applies to well-formed events.
+		if len(first.Name) > maxTraceName {
+			return
+		}
+		for _, ev := range first.Events {
+			switch ev.Op {
+			case EvMalloc, EvPlant, EvFree:
+				if ev.Ref < 0 {
+					return
+				}
+			default:
+				return
+			}
+		}
+		// Re-encode and decode again: must be the same events.
+		var buf bytes.Buffer
+		w, err := NewBinaryTraceWriter(&buf, TraceHeader{Name: first.Name, Seed: first.Seed})
+		if err != nil {
+			t.Fatalf("re-encoding decoded trace: %v", err)
+		}
+		if err := WriteTrace(w, first); err != nil {
+			t.Fatalf("re-encoding decoded trace: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		third, err := fuzzDecode(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(first, third) {
+			t.Fatal("decode(encode(decode(x))) != decode(x)")
+		}
+	})
+}
+
+// fuzzDecode drains one sniffed stream with a sanity cap on event count (a
+// fuzz input of n bytes cannot encode more than n records; the cap guards
+// against a decoder bug looping without consuming input).
+func fuzzDecode(data []byte) (*Trace, error) {
+	r, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	hdr := r.Header()
+	tr := &Trace{Name: hdr.Name, Seed: hdr.Seed}
+	for i := 0; i <= len(data); i++ {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	panic("decoder yielded more events than input bytes")
+}

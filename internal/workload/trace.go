@@ -62,65 +62,105 @@ func ReadTraceJSON(r io.Reader) (*Trace, error) {
 
 // Replay executes the trace against sys and returns the number of events
 // applied. Frees of already-freed allocations are trace corruption and
-// error out.
+// error out. For traces too large to materialise, use ReplayStream.
 func Replay(sys *core.System, tr *Trace) (int, error) {
-	caps := make([]cap.Capability, 0, len(tr.Events)/2)
+	st := replayState{caps: make([]cap.Capability, 0, len(tr.Events)/2)}
 	for i, ev := range tr.Events {
-		switch ev.Op {
-		case EvMalloc:
-			c, err := sys.Malloc(ev.Size)
-			if err != nil {
-				return i, fmt.Errorf("workload: replay event %d: %w", i, err)
-			}
-			caps = append(caps, c)
-		case EvPlant:
-			if ev.Ref < 0 || ev.Ref >= len(caps) {
-				return i, fmt.Errorf("workload: replay event %d: bad ref %d", i, ev.Ref)
-			}
-			c := caps[ev.Ref]
-			if err := sys.Mem().StoreCap(c, c.Base()+ev.Size, c.SetAddr(c.Base()+ev.Size)); err != nil {
-				return i, fmt.Errorf("workload: replay event %d: %w", i, err)
-			}
-		case EvFree:
-			if ev.Ref < 0 || ev.Ref >= len(caps) {
-				return i, fmt.Errorf("workload: replay event %d: bad ref %d", i, ev.Ref)
-			}
-			if err := sys.FreeAddr(caps[ev.Ref].Base()); err != nil {
-				return i, fmt.Errorf("workload: replay event %d: %w", i, err)
-			}
-		default:
-			return i, fmt.Errorf("workload: replay event %d: unknown op %q", i, ev.Op)
+		if err := st.apply(sys, i, ev); err != nil {
+			return i, err
 		}
 	}
 	return len(tr.Events), nil
 }
 
-// recorder accumulates trace events during a Run; nil-safe.
+// replayState is the per-replay allocation table: events reference
+// allocations by birth order, so the table maps that index to the
+// capability the replay's own allocator returned. It grows with the number
+// of mallocs (allocation metadata), while the event stream itself needs no
+// buffering beyond the caller's window.
+type replayState struct {
+	caps []cap.Capability
+}
+
+// apply executes one trace event against sys; i is the event's position,
+// used only for error messages.
+func (st *replayState) apply(sys *core.System, i int, ev TraceEvent) error {
+	switch ev.Op {
+	case EvMalloc:
+		c, err := sys.Malloc(ev.Size)
+		if err != nil {
+			return fmt.Errorf("workload: replay event %d: %w", i, err)
+		}
+		st.caps = append(st.caps, c)
+	case EvPlant:
+		if ev.Ref < 0 || ev.Ref >= len(st.caps) {
+			return fmt.Errorf("workload: replay event %d: bad ref %d", i, ev.Ref)
+		}
+		c := st.caps[ev.Ref]
+		if err := sys.Mem().StoreCap(c, c.Base()+ev.Size, c.SetAddr(c.Base()+ev.Size)); err != nil {
+			return fmt.Errorf("workload: replay event %d: %w", i, err)
+		}
+	case EvFree:
+		if ev.Ref < 0 || ev.Ref >= len(st.caps) {
+			return fmt.Errorf("workload: replay event %d: bad ref %d", i, ev.Ref)
+		}
+		if err := sys.FreeAddr(st.caps[ev.Ref].Base()); err != nil {
+			return fmt.Errorf("workload: replay event %d: %w", i, err)
+		}
+	default:
+		return fmt.Errorf("workload: replay event %d: unknown op %q", i, ev.Op)
+	}
+	return nil
+}
+
+// recorder is the generator-to-stream adapter: it forwards the run's exact
+// event sequence to a materialised Trace (Options.Record), a streaming
+// TraceWriter (Options.Stream), or both. Nil-safe; an inactive recorder
+// hands out index -1 and drops everything.
 type recorder struct {
 	tr   *Trace
-	next int // next allocation index
+	w    TraceWriter
+	next int   // next allocation index
+	err  error // first stream-write failure, surfaced by Run
+}
+
+// active reports whether any sink is attached.
+func (r *recorder) active() bool {
+	return r != nil && (r.tr != nil || r.w != nil)
+}
+
+// emit forwards one event to the attached sinks. Stream-write errors are
+// latched (the generator loop has no natural bail-out point per plant) and
+// checked by Run after the run completes.
+func (r *recorder) emit(ev TraceEvent) {
+	if r.tr != nil {
+		r.tr.Events = append(r.tr.Events, ev)
+	}
+	if r.w != nil && r.err == nil {
+		r.err = r.w.WriteEvent(ev)
+	}
 }
 
 func (r *recorder) malloc(size uint64) int {
-	if r == nil || r.tr == nil {
+	if !r.active() {
 		return -1
 	}
 	idx := r.next
 	r.next++
-	r.tr.Events = append(r.tr.Events, TraceEvent{Op: EvMalloc, Size: size})
+	r.emit(TraceEvent{Op: EvMalloc, Size: size})
 	return idx
 }
 
 func (r *recorder) plant(ref int, off uint64) {
-	if r == nil || r.tr == nil {
+	if !r.active() {
 		return
 	}
-	r.tr.Events = append(r.tr.Events, TraceEvent{Op: EvPlant, Size: off, Ref: ref})
+	r.emit(TraceEvent{Op: EvPlant, Size: off, Ref: ref})
 }
 
 func (r *recorder) free(ref int) {
-	if r == nil || r.tr == nil || ref < 0 {
+	if !r.active() || ref < 0 {
 		return
 	}
-	r.tr.Events = append(r.tr.Events, TraceEvent{Op: EvFree, Ref: ref})
+	r.emit(TraceEvent{Op: EvFree, Ref: ref})
 }

@@ -12,52 +12,66 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/engine"
 	"repro/internal/server"
 )
 
 // serveCmd runs the campaign HTTP service.
 //
-//	cherivoke serve [-addr :8080] [-workers N]
+//	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "default campaign worker-pool width (0 = GOMAXPROCS)")
 	traceDir := fs.String("tracedir", "", "trace-store directory (default: a temporary directory)")
+	stateDir := fs.String("statedir", "", "persistent state directory: campaigns, artifacts, and the job-result store survive restarts (default: in-memory)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N] [-tracedir dir]")
+		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	svc, err := server.New(server.Options{Workers: *workers, TraceDir: *traceDir, StateDir: *stateDir})
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(server.Options{Workers: *workers, TraceDir: *traceDir}).Handler(),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("cherivoke campaign service listening on %s\n", *addr)
-	fmt.Printf("  POST /campaigns, GET /campaigns/{id}, GET /campaigns/{id}/results, POST /traces, GET /healthz\n")
+	fmt.Printf("  POST /campaigns, GET /campaigns/{id}, GET /campaigns/{id}/results, GET /figures/{name}, POST /traces, GET /healthz\n")
+	if *stateDir != "" {
+		fmt.Printf("  state persisted under %s\n", *stateDir)
+	}
 	return srv.ListenAndServe()
 }
 
 // campaignCmd runs one campaign locally on the worker pool and writes its
 // artifacts.
 //
-//	cherivoke campaign [-workers N] [-trace file|-] [-o results.json] [-csv results.csv] [spec.json]
+//	cherivoke campaign [-workers N] [-statedir dir] [-trace file|-] [-o results.json] [-csv results.csv] [spec.json]
 //
 // Without a spec file it runs the default campaign: every profile under the
 // paper-default CHERIvoke configuration. With -trace, every job replays the
 // given trace stream ('-' spools stdin to disk first, so `trace record |
 // campaign -trace -` never materialises the event sequence in memory).
+// With -statedir, jobs are resolved through the persistent job-result
+// store rooted there: results computed by any earlier run (or by a server
+// sharing the directory) are served from the store, and artifacts are
+// byte-identical either way.
 func campaignCmd(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS); never changes results")
 	jsonOut := fs.String("o", "", "write the JSON artifact to this file (default: summary only)")
 	csvOut := fs.String("csv", "", "write the CSV artifact to this file")
 	traceIn := fs.String("trace", "", "replay this trace file ('-' = stdin) instead of generating workloads")
+	stateDir := fs.String("statedir", "", "persistent job-result store: serve previously computed jobs from it, store new ones into it")
 	quiet := fs.Bool("q", false, "suppress per-job progress on stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cherivoke campaign [-workers N] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]")
+		fmt.Fprintln(os.Stderr, "usage: cherivoke campaign [-workers N] [-statedir dir] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]")
 		fmt.Fprintln(os.Stderr, "runs the default all-profiles campaign when no spec file is given")
 		fs.PrintDefaults()
 	}
@@ -114,7 +128,28 @@ func campaignCmd(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "campaign: %d jobs\n", len(jobs))
 	start := time.Now()
-	res, err := campaign.Run(ctx, spec, opts)
+	var res *campaign.Result
+	var stats engine.ResolveStats
+	if *stateDir != "" {
+		store, serr := engine.OpenDirStore(*stateDir, nil)
+		if serr != nil {
+			return serr
+		}
+		// SkipRecovery: the CLI is a secondary consumer of the state
+		// directory — it must not declare a serving process's live
+		// campaigns interrupted.
+		eng, serr := engine.New(store, engine.Options{SkipRecovery: true})
+		if serr != nil {
+			return serr
+		}
+		res, stats, err = eng.Resolve(ctx, spec, engine.ResolveOptions{
+			Workers:    *workers,
+			Traces:     traces,
+			OnProgress: opts.OnProgress,
+		})
+	} else {
+		res, err = campaign.Run(ctx, spec, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -133,6 +168,9 @@ func campaignCmd(args []string) error {
 
 	s := res.Summary
 	fmt.Printf("campaign done: %d jobs (%d failed) in %s\n", s.Jobs, s.Failed, elapsed.Round(time.Millisecond))
+	if *stateDir != "" {
+		fmt.Printf("  result store: %d of %d jobs served from cache\n", stats.CacheHits, stats.Jobs)
+	}
 	fmt.Printf("  geomean runtime %.3f, max %.3f\n", s.GeomeanRuntime, s.MaxRuntime)
 	fmt.Printf("  %d sweeps, %d capabilities revoked, %d frees\n", s.TotalSweeps, s.TotalCapsRevoked, s.TotalFrees)
 	return res.FirstError()

@@ -7,8 +7,8 @@
 //	cherivoke trace record [-quick] [-seed N] [-format binary|ndjson|json] [-o out] <benchmark>
 //	cherivoke trace info <file|->
 //	cherivoke replay <file>                            # replay a trace under both allocators
-//	cherivoke campaign [-workers N] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]
-//	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir]
+//	cherivoke campaign [-workers N] [-statedir dir] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]
+//	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]
 //
 // Output is textual: each figure prints the same rows/series the paper
 // plots. Everything is deterministic for a given seed: figure sweeps run as
@@ -72,8 +72,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       cherivoke trace record [-quick] [-seed N] [-format binary|ndjson|json] [-o out] <benchmark>\n")
 		fmt.Fprintf(os.Stderr, "       cherivoke trace info <file|->\n")
 		fmt.Fprintf(os.Stderr, "       cherivoke replay <file>\n")
-		fmt.Fprintf(os.Stderr, "       cherivoke campaign [-workers N] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]\n")
-		fmt.Fprintf(os.Stderr, "       cherivoke serve [-addr :8080] [-workers N] [-tracedir dir]\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke campaign [-workers N] [-statedir dir] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -24,6 +24,27 @@ type RunOptions struct {
 	// jobs concurrently. Required when (and only when) the spec sets a
 	// TraceRef.
 	Traces TraceOpener
+
+	// Cache, when set, is consulted before each job executes and fed
+	// every successful result. A hit is used verbatim (re-stamped with
+	// the current job's ID), so a correct cache — one that only returns
+	// results produced by an identical job under an identical spec —
+	// keeps artifacts byte-identical to an uncached run. Failed jobs are
+	// never stored: their errors may be transient (a missing trace, a
+	// full disk). Methods must be safe for concurrent use by the pool.
+	Cache JobCache
+}
+
+// JobCache serves previously computed job results. The spec passed to both
+// methods is the normalised form (defaults resolved), so implementations
+// can derive stable content keys from it. internal/engine implements this
+// over a persistent Store, keyed by a content hash of everything that
+// determines the result.
+type JobCache interface {
+	// Lookup returns a stored result for the job, if one exists.
+	Lookup(spec Spec, job Job) (JobResult, bool)
+	// Store records a successfully completed job's result.
+	Store(spec Spec, job Job, jr JobResult)
 }
 
 // Progress describes one completed job.
@@ -36,6 +57,10 @@ type Progress struct {
 	Variant string  `json:"variant"`
 	Runtime float64 `json:"runtime"`
 	Error   string  `json:"error,omitempty"`
+
+	// Cached marks a job served from RunOptions.Cache instead of being
+	// executed.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Result is a completed campaign: the resolved spec, one JobResult per job
@@ -115,7 +140,23 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobCh {
-				jr := runJob(spec, jobs[i], opts.Traces)
+				var jr JobResult
+				cached := false
+				if opts.Cache != nil {
+					if hit, ok := opts.Cache.Lookup(spec, jobs[i]); ok {
+						// The key covers every field that shapes the
+						// result; only the expansion ID is this
+						// campaign's own.
+						hit.Job = jobs[i]
+						jr, cached = hit, true
+					}
+				}
+				if !cached {
+					jr = runJob(spec, jobs[i], opts.Traces)
+					if opts.Cache != nil && jr.Error == "" {
+						opts.Cache.Store(spec, jobs[i], jr)
+					}
+				}
 				results[i] = jr
 				mu.Lock()
 				done++
@@ -128,6 +169,7 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 						Variant: jr.Job.Variant.Name,
 						Runtime: jr.PlusSweep,
 						Error:   jr.Error,
+						Cached:  cached,
 					})
 				}
 				mu.Unlock()

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// DirStore subdirectories: one file per record, named by the record's own
+// identifier.
+//
+//	<dir>/campaigns/<id>.json   Campaign metadata
+//	<dir>/results/<id>.json     finished Result artifacts
+//	<dir>/jobs/<jobkey>.json    JobResults under their content hash
+const (
+	campaignsDir = "campaigns"
+	resultsDir   = "results"
+	jobsDir      = "jobs"
+)
+
+// DirStore is the disk-backed Store: every record is written atomically
+// (spool to a temp file in the destination directory, then rename), so a
+// crash never leaves a half-written record under a record name — at worst
+// it leaves an orphaned temp file, which opens ignore. Reads that hit a
+// corrupted record log a warning and treat it as absent rather than
+// failing: a damaged state directory degrades to recomputation, never to a
+// crash.
+type DirStore struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	// mu serialises campaign-record writes so a slow PutCampaign cannot
+	// overwrite a newer state with an older one. Job and result writes
+	// need no ordering: each key is written with one value only.
+	mu sync.Mutex
+}
+
+// OpenDirStore opens (creating if needed) a disk store rooted at dir. logf
+// receives corruption warnings; nil means the standard logger.
+func OpenDirStore(dir string, logf func(format string, args ...any)) (*DirStore, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	for _, sub := range []string{campaignsDir, resultsDir, jobsDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("engine: creating state directory: %w", err)
+		}
+	}
+	return &DirStore{dir: dir, logf: logf}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// writeAtomic files data at dir/name via a same-directory temp file and
+// rename, so readers only ever see complete records.
+func (s *DirStore) writeAtomic(sub, name string, data []byte) error {
+	dir := filepath.Join(s.dir, sub)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("engine: spooling record: %w", err)
+	}
+	_, err = tmp.Write(data)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), filepath.Join(dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: filing record: %w", err)
+	}
+	return nil
+}
+
+// readRecord unmarshals dir/sub/name into v, mapping absence to ErrNotFound
+// and corruption to a logged warning plus ErrNotFound.
+func (s *DirStore) readRecord(sub, name string, v any) error {
+	path := filepath.Join(s.dir, sub, name)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	if err != nil {
+		return fmt.Errorf("engine: reading record: %w", err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		s.logf("engine: skipping corrupted record %s: %v", path, err)
+		return ErrNotFound
+	}
+	return nil
+}
+
+// validRecordName guards the only identifiers that ever reach a filename:
+// engine-generated campaign IDs and 64-hex job keys. Anything else —
+// separators, dots, an empty string — is rejected before it can touch a
+// path.
+func validRecordName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func recordName(id string) (string, error) {
+	if !validRecordName(id) {
+		return "", fmt.Errorf("engine: invalid record name %q", id)
+	}
+	return id + ".json", nil
+}
+
+// PutCampaign implements Store.
+func (s *DirStore) PutCampaign(c Campaign) error {
+	name, err := recordName(c.ID)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeAtomic(campaignsDir, name, b)
+}
+
+// Campaigns implements Store: it scans the campaigns directory, skipping
+// temp files and logging-and-skipping corrupted records — the crash-safe
+// recovery read.
+func (s *DirStore) Campaigns() ([]Campaign, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, campaignsDir))
+	if err != nil {
+		return nil, fmt.Errorf("engine: listing campaigns: %w", err)
+	}
+	var out []Campaign
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || !validRecordName(name) {
+			continue // temp spool or foreign file
+		}
+		var c Campaign
+		if err := s.readRecord(campaignsDir, e.Name(), &c); err != nil {
+			if err == ErrNotFound {
+				continue // corrupted record, already warned
+			}
+			return nil, err
+		}
+		if c.ID != name {
+			s.logf("engine: skipping mislabelled campaign record %s (claims id %q)", e.Name(), c.ID)
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// PutResult implements Store.
+func (s *DirStore) PutResult(id string, res *campaign.Result) error {
+	name, err := recordName(id)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(resultsDir, name, b)
+}
+
+// Result implements Store.
+func (s *DirStore) Result(id string) (*campaign.Result, error) {
+	name, err := recordName(id)
+	if err != nil {
+		return nil, err
+	}
+	var res campaign.Result
+	if err := s.readRecord(resultsDir, name, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PutJob implements Store. Concurrent writers of the same key race benignly:
+// both rename complete files carrying identical bytes.
+func (s *DirStore) PutJob(key string, jr campaign.JobResult) error {
+	name, err := recordName(key)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(jr)
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(jobsDir, name, b)
+}
+
+// MaxSeq implements Store: the highest sequence any campaign or result
+// *filename* implies, whether or not the content parses — a corrupted
+// record must still fence its ID off from reuse, or a recovering engine
+// could mint an ID whose stale result artifact is then served for the new
+// campaign.
+func (s *DirStore) MaxSeq() (int, error) {
+	max := 0
+	for _, sub := range []string{campaignsDir, resultsDir} {
+		entries, err := os.ReadDir(filepath.Join(s.dir, sub))
+		if err != nil {
+			return 0, fmt.Errorf("engine: listing %s: %w", sub, err)
+		}
+		for _, e := range entries {
+			name, ok := strings.CutSuffix(e.Name(), ".json")
+			if !ok {
+				continue
+			}
+			if seq, ok := seqFromID(name); ok && seq > max {
+				max = seq
+			}
+		}
+	}
+	return max, nil
+}
+
+// Job implements Store.
+func (s *DirStore) Job(key string) (campaign.JobResult, error) {
+	name, err := recordName(key)
+	if err != nil {
+		return campaign.JobResult{}, err
+	}
+	var jr campaign.JobResult
+	if err := s.readRecord(jobsDir, name, &jr); err != nil {
+		return campaign.JobResult{}, err
+	}
+	return jr, nil
+}

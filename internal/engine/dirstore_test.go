@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// logCapture collects DirStore warnings.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logCapture) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *logCapture) contains(substr string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, line := range l.lines {
+		if strings.Contains(line, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDirStoreCorruptedEntries covers the crash-safety contract: damaged
+// records on disk are skipped with a logged warning — never a crash, never
+// a served half-record. A corrupted campaign record vanishes from the
+// listing; a corrupted job record degrades to a cache miss and is
+// recomputed.
+func TestDirStoreCorruptedEntries(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDirStore(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(store, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Submit(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitState(t, e, rec.ID); final.State != StateDone {
+		t.Fatalf("campaign: %+v", final)
+	}
+
+	// Vandalise the state directory: a truncated campaign record, a
+	// garbage job record, and an orphaned temp spool.
+	if err := os.WriteFile(filepath.Join(dir, campaignsDir, "c000099.json"), []byte(`{"id": "c0000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := os.ReadDir(filepath.Join(dir, jobsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("%d job records, want 1", len(jobs))
+	}
+	jobPath := filepath.Join(dir, jobsDir, jobs[0].Name())
+	if err := os.WriteFile(jobPath, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, campaignsDir, ".tmp-12345"), []byte("spool"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the engine must come up, list only the intact campaign,
+	// and warn about the damage.
+	logs := &logCapture{}
+	store2, err := OpenDirStore(dir, logs.logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(store2, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("engine refused a damaged state dir: %v", err)
+	}
+	list := e2.List()
+	if len(list) != 1 || list[0].ID != rec.ID {
+		t.Fatalf("listing after corruption: %+v", list)
+	}
+	if !logs.contains("corrupted") {
+		t.Errorf("no corruption warning logged; got %v", logs.lines)
+	}
+
+	// A corrupted record still fences off its ID: the next submission
+	// must mint a sequence past c000099, never reuse it.
+	fresh, err := e2.Submit(testSpec("hmmer"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Seq <= 99 {
+		t.Fatalf("sequence ran back over a corrupted record: %+v", fresh)
+	}
+	waitState(t, e2, fresh.ID)
+
+	// The damaged job record is a miss, not an error: the job re-runs
+	// and the store heals.
+	_, stats, err := e2.Resolve(context.Background(), testSpec(), ResolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Fatalf("corrupted job record served as a hit: %+v", stats)
+	}
+	_, stats, err = e2.Resolve(context.Background(), testSpec(), ResolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != stats.Jobs {
+		t.Fatalf("store did not heal after recompute: %+v", stats)
+	}
+}
+
+// TestDirStoreRejectsHostileNames pins the path guard: record identifiers
+// never become path components.
+func TestDirStoreRejectsHostileNames(t *testing.T) {
+	store, err := OpenDirStore(t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "../../etc/passwd", "a/b", "UPPER", strings.Repeat("a", 65)} {
+		if _, err := store.Job(name); err == nil {
+			t.Errorf("Job(%q) accepted", name)
+		}
+		if _, err := store.Result(name); err == nil {
+			t.Errorf("Result(%q) accepted", name)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package engine is the store-backed campaign execution layer between
+// internal/campaign (the deterministic job runner) and internal/server (the
+// HTTP adapter). It owns two seams:
+//
+//   - Store: persistence for submitted campaigns, their finished Result
+//     artifacts, and individual JobResults keyed by content hash. MemStore
+//     keeps everything in process memory; DirStore files every record
+//     atomically under a state directory and recovers crash-safely on open
+//     (corrupted entries are skipped with a logged warning, and campaigns
+//     that were running when the process died are finalised from their
+//     stored result or marked failed).
+//
+//   - Engine: the execution front. Every job is keyed by JobKey — a SHA-256
+//     over the canonical serialisation of everything that determines its
+//     result (profile, variant, fraction, seed, heap scale, workload
+//     bounds, traffic model, image-sweep plan, and the full content hash of
+//     any replayed trace) — so resubmitted or overlapping campaigns reuse
+//     stored JobResults instead of re-running them. Because campaign
+//     artifacts are deterministic, a warm-cache rerun yields byte-identical
+//     JSON and CSV artifacts to a cold run; the cache changes cost, never
+//     results.
+//
+// The engine deliberately excludes from the key everything that only
+// schedules work: worker counts, sweep-shard membership of the pool,
+// Spec.TraceWindow, and the spelling of a trace ref (a prefix and the full
+// hash of the same trace share a key).
+package engine

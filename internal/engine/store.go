@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// ErrNotFound is returned by Store lookups that resolve to nothing.
+var ErrNotFound = errors.New("engine: not found")
+
+// ErrStore marks failures of the store itself (unwritable directory, full
+// disk) as opposed to failures of the thing being stored — the distinction
+// an HTTP adapter needs between 500 and 400.
+var ErrStore = errors.New("engine: store failure")
+
+// Store persists the engine's three record kinds: campaign metadata,
+// finished campaign Results, and individual JobResults under their JobKey.
+// Implementations must be safe for concurrent use — the worker pool stores
+// job results in parallel — and must return records that serialise to
+// exactly the bytes the original would have (both built-in stores keep the
+// canonical JSON encoding, so a served warm-cache artifact is byte-identical
+// to the cold one).
+type Store interface {
+	// PutCampaign writes (or overwrites) one campaign record.
+	PutCampaign(c Campaign) error
+	// Campaigns returns every stored record, sorted by submission
+	// sequence.
+	Campaigns() ([]Campaign, error)
+
+	// PutResult writes a finished campaign's full Result artifact.
+	PutResult(id string, res *campaign.Result) error
+	// Result returns a stored Result, or ErrNotFound.
+	Result(id string) (*campaign.Result, error)
+
+	// PutJob stores one successfully completed job's result under its
+	// content key.
+	PutJob(key string, jr campaign.JobResult) error
+	// Job returns the result stored under key, or ErrNotFound.
+	Job(key string) (campaign.JobResult, error)
+
+	// MaxSeq returns the highest submission sequence the store has any
+	// evidence of — counting records whose content is unreadable and
+	// orphaned result artifacts — so a recovering engine never re-mints
+	// a campaign ID that may still have data on disk.
+	MaxSeq() (int, error)
+}
+
+// seqFromID parses the numeric sequence out of an engine-generated
+// campaign ID ("c000042" → 42).
+func seqFromID(id string) (int, bool) {
+	if len(id) < 2 || id[0] != 'c' {
+		return 0, false
+	}
+	seq := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + int(c-'0')
+		if seq > 1<<40 {
+			return 0, false
+		}
+	}
+	return seq, true
+}
+
+// MemStore is the in-memory Store: nothing survives the process, exactly
+// like the pre-engine server registry. Records are kept as their JSON
+// encodings so that a cache hit goes through the same serialisation
+// round-trip a DirStore hit does — MemStore-backed tests prove the same
+// byte-identity DirStore serves.
+type MemStore struct {
+	mu        sync.RWMutex
+	campaigns map[string][]byte
+	results   map[string][]byte
+	jobs      map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		campaigns: map[string][]byte{},
+		results:   map[string][]byte{},
+		jobs:      map[string][]byte{},
+	}
+}
+
+func (s *MemStore) put(m map[string][]byte, key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	m[key] = b
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *MemStore) get(m map[string][]byte, key string, v any) error {
+	s.mu.RLock()
+	b, ok := m[key]
+	s.mu.RUnlock()
+	if !ok {
+		return ErrNotFound
+	}
+	return json.Unmarshal(b, v)
+}
+
+// PutCampaign implements Store.
+func (s *MemStore) PutCampaign(c Campaign) error { return s.put(s.campaigns, c.ID, c) }
+
+// Campaigns implements Store.
+func (s *MemStore) Campaigns() ([]Campaign, error) {
+	s.mu.RLock()
+	encoded := make([][]byte, 0, len(s.campaigns))
+	for _, b := range s.campaigns {
+		encoded = append(encoded, b)
+	}
+	s.mu.RUnlock()
+	out := make([]Campaign, 0, len(encoded))
+	for _, b := range encoded {
+		var c Campaign
+		if err := json.Unmarshal(b, &c); err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// PutResult implements Store.
+func (s *MemStore) PutResult(id string, res *campaign.Result) error {
+	return s.put(s.results, id, res)
+}
+
+// Result implements Store.
+func (s *MemStore) Result(id string) (*campaign.Result, error) {
+	var res campaign.Result
+	if err := s.get(s.results, id, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PutJob implements Store.
+func (s *MemStore) PutJob(key string, jr campaign.JobResult) error {
+	return s.put(s.jobs, key, jr)
+}
+
+// Job implements Store.
+func (s *MemStore) Job(key string) (campaign.JobResult, error) {
+	var jr campaign.JobResult
+	if err := s.get(s.jobs, key, &jr); err != nil {
+		return campaign.JobResult{}, err
+	}
+	return jr, nil
+}
+
+// MaxSeq implements Store. MemStore records cannot corrupt, so the record
+// and result keys are the whole evidence.
+func (s *MemStore) MaxSeq() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	max := 0
+	for id := range s.campaigns {
+		if seq, ok := seqFromID(id); ok && seq > max {
+			max = seq
+		}
+	}
+	for id := range s.results {
+		if seq, ok := seqFromID(id); ok && seq > max {
+			max = seq
+		}
+	}
+	return max, nil
+}

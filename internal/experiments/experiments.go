@@ -29,6 +29,36 @@ type Options struct {
 	MinSweeps    int    // sweeps per workload run
 	Fraction     float64
 	Workers      int // campaign worker-pool width (0 = GOMAXPROCS)
+
+	// Runner, when set, resolves the experiments' campaigns through an
+	// external engine — typically internal/engine, whose job-result
+	// store serves previously computed jobs instead of re-running them,
+	// so the figures' heavily overlapping sweeps (Table 2 and Figures
+	// 6–10 share spec axes) are deduplicated against each other and
+	// against submitted campaigns. Nil runs each campaign in-process.
+	Runner CampaignRunner
+
+	// Context bounds the experiments' campaigns (nil = background). The
+	// figure endpoints pass the HTTP request's context so an abandoned
+	// request stops computing.
+	Context context.Context
+}
+
+// ctx returns the configured context or background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// CampaignRunner resolves one campaign spec into its completed result. It
+// is the seam the figure experiments hang on: *engine.Engine implements it
+// over a persistent job-result store. Implementations must preserve the
+// campaign determinism contract — the result must be byte-identical to an
+// in-process campaign.Run of the same spec.
+type CampaignRunner interface {
+	ResolveCampaign(ctx context.Context, spec campaign.Spec, workers int) (*campaign.Result, error)
 }
 
 // Default returns the full-scale options (25% quarantine, the paper's
@@ -71,10 +101,18 @@ func (o Options) spec(profiles []string, variants ...campaign.Variant) campaign.
 	}
 }
 
-// run executes a campaign with the options' worker pool and fails on the
-// first job error.
+// run executes a campaign — through the Runner when one is configured,
+// in-process otherwise — and fails on the first job error. Every figure and
+// table assembles its rows from results resolved here, so pointing Runner
+// at an engine deduplicates the whole evaluation grid.
 func (o Options) run(spec campaign.Spec) (*campaign.Result, error) {
-	res, err := campaign.Run(context.Background(), spec, campaign.RunOptions{Workers: o.Workers})
+	var res *campaign.Result
+	var err error
+	if o.Runner != nil {
+		res, err = o.Runner.ResolveCampaign(o.ctx(), spec, o.Workers)
+	} else {
+		res, err = campaign.Run(o.ctx(), spec, campaign.RunOptions{Workers: o.Workers})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -90,8 +90,7 @@ func readSSE(ts *httptest.Server, id string) error {
 // broadcast locking on top of the campaign pools and the sweeps' shard
 // goroutines.
 func TestConcurrentSubmissionsSSE(t *testing.T) {
-	ts := httptest.NewServer(New(Options{Workers: 2}).Handler())
-	defer ts.Close()
+	ts := newTestServer(t, Options{Workers: 2})
 
 	const campaigns = 4
 	errs := make(chan error, campaigns)
@@ -128,8 +127,7 @@ func TestConcurrentSubmissionsSSE(t *testing.T) {
 // different worker widths serves byte-identical CSV artifacts (the
 // worker pool schedules, it never measures).
 func TestShardedCampaignArtifactsOverHTTP(t *testing.T) {
-	ts := httptest.NewServer(New(Options{}).Handler())
-	defer ts.Close()
+	ts := newTestServer(t, Options{})
 
 	fetchCSV := func(workers int) []byte {
 		sub := submit(t, ts, trafficSpec("det", 4), workers)

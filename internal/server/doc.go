@@ -1,12 +1,15 @@
-// Package server is the HTTP front-end of the campaign subsystem: it
-// accepts campaign specs over POST, runs each campaign asynchronously on
-// internal/campaign's worker pool, streams per-job progress over
-// server-sent events, serves the aggregated JSON/CSV artifacts, and ingests
-// workload traces into a content-addressed store that campaign specs
-// reference by hash (Spec.TraceRef).
+// Package server is the HTTP adapter over internal/engine: it accepts
+// campaign specs over POST, maps engine state to status codes, streams
+// per-job progress over server-sent events, serves the aggregated JSON/CSV
+// artifacts and the paper's figure tables, and ingests workload traces into
+// a content-addressed store that campaign specs reference by hash
+// (Spec.TraceRef). All campaign state lives in the engine's Store: with
+// Options.StateDir set, campaigns, artifacts, and the deduplicating
+// job-result cache survive restarts, and resubmitted specs are answered
+// without re-executing a single job.
 //
 //	POST   /campaigns              submit a campaign        -> 202 + id
-//	GET    /campaigns              list campaign statuses
+//	GET    /campaigns              list statuses (submission order)
 //	GET    /campaigns/{id}         one campaign's status
 //	GET    /campaigns/{id}/results artifacts (?format=csv)  -> 409 until done
 //	GET    /campaigns/{id}/events  SSE progress stream
@@ -14,6 +17,8 @@
 //	POST   /traces                 upload a trace (streamed) -> 201 + hash
 //	GET    /traces                 list stored traces
 //	GET    /traces/{hash}          one trace's metadata
+//	GET    /figures                list servable figures
+//	GET    /figures/{name}         figure rows (?quick=1), engine-resolved
 //	GET    /healthz                liveness probe
 //
 // The full request/response reference, with curl examples, is

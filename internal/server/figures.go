@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// FigureResponse is the GET /figures/{name} body: the same rows the CLI
+// prints for that figure, as JSON.
+type FigureResponse struct {
+	Figure string `json:"figure"`
+	Quick  bool   `json:"quick"`
+	Rows   any    `json:"rows"`
+}
+
+// Fig8Rows pairs Figure 8's two panels in one response.
+type Fig8Rows struct {
+	Fig8a []experiments.Fig8aRow   `json:"fig8a"`
+	Fig8b []experiments.Fig8bPoint `json:"fig8b"`
+}
+
+// figureFuncs maps the servable figure names to their experiments
+// constructors. Every constructor resolves its campaigns through the
+// engine (Options.Runner), so the figures' overlapping sweeps reuse each
+// other's — and submitted campaigns' — stored job results.
+var figureFuncs = map[string]func(experiments.Options) (any, error){
+	"table2": func(o experiments.Options) (any, error) { return experiments.Table2(o) },
+	"fig6":   func(o experiments.Options) (any, error) { return experiments.Fig6(o) },
+	"fig7":   func(o experiments.Options) (any, error) { return experiments.Fig7(o) },
+	"fig8": func(o experiments.Options) (any, error) {
+		a, err := experiments.Fig8a(o)
+		if err != nil {
+			return nil, err
+		}
+		b, err := experiments.Fig8b(o)
+		if err != nil {
+			return nil, err
+		}
+		return Fig8Rows{Fig8a: a, Fig8b: b}, nil
+	},
+	"fig9":  func(o experiments.Options) (any, error) { return experiments.Fig9(o) },
+	"fig10": func(o experiments.Options) (any, error) { return experiments.Fig10(o) },
+}
+
+// figureNames returns the servable names, sorted.
+func figureNames() []string {
+	names := make([]string, 0, len(figureFuncs))
+	for name := range figureFuncs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// handleFigureIndex implements GET /figures.
+func (s *Server) handleFigureIndex(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"figures": figureNames()})
+}
+
+// handleFigure implements GET /figures/{name}: it regenerates the named
+// figure's rows synchronously, with every underlying campaign resolved
+// through the engine's job-result store — the first request computes, a
+// repeat (or any overlapping sweep since) is served from the store.
+// ?quick=1 runs at the reduced test scale instead of the paper's.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	fn, ok := figureFuncs[name]
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown figure %q (have %s)", name, strings.Join(figureNames(), ", ")))
+		return
+	}
+	quick := false
+	switch r.URL.Query().Get("quick") {
+	case "", "0", "false":
+	default:
+		quick = true
+	}
+	opts := experiments.Default()
+	if quick {
+		opts = experiments.Quick()
+	}
+	opts.Workers = s.opts.Workers
+	opts.Runner = s.engine
+	// A disconnected client stops the computation instead of leaving a
+	// full-scale figure grid running to completion for nobody.
+	opts.Context = r.Context()
+	rows, err := fn(opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, FigureResponse{Figure: name, Quick: quick, Rows: rows})
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFigureEndpoints exercises the served-figure surface: the index lists
+// every figure, a quick figure renders its rows, a repeat request is served
+// byte-identically from the engine's job-result store, and unknown names
+// 404.
+func TestFigureEndpoints(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 4})
+
+	var index struct {
+		Figures []string `json:"figures"`
+	}
+	if code := getJSON(t, ts.URL+"/figures", &index); code != http.StatusOK {
+		t.Fatalf("index: %d", code)
+	}
+	want := []string{"fig10", "fig6", "fig7", "fig8", "fig9", "table2"}
+	if len(index.Figures) != len(want) {
+		t.Fatalf("figures %v, want %v", index.Figures, want)
+	}
+	for i, name := range want {
+		if index.Figures[i] != name {
+			t.Fatalf("figures %v, want %v", index.Figures, want)
+		}
+	}
+
+	code, body1, _ := get(t, ts.URL+"/figures/fig9?quick=1")
+	if code != http.StatusOK {
+		t.Fatalf("fig9: %d (%s)", code, body1)
+	}
+	var resp struct {
+		Figure string                `json:"figure"`
+		Quick  bool                  `json:"quick"`
+		Rows   []experiments.Fig9Row `json:"rows"`
+	}
+	if err := json.Unmarshal(body1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Figure != "fig9" || !resp.Quick || len(resp.Rows) != 7 {
+		t.Fatalf("fig9 response: figure=%q quick=%v rows=%d", resp.Figure, resp.Quick, len(resp.Rows))
+	}
+	for _, row := range resp.Rows {
+		if row.Xalancbmk <= 0 || row.Omnetpp <= 0 {
+			t.Fatalf("empty fig9 row: %+v", row)
+		}
+	}
+
+	// The repeat is resolved from the job-result store; rendered rows are
+	// byte-identical either way.
+	if _, body2, _ := get(t, ts.URL+"/figures/fig9?quick=1"); !bytes.Equal(body1, body2) {
+		t.Errorf("fig9 differs across cache:\n%.800s\nvs\n%.800s", body1, body2)
+	}
+
+	if code, _, _ := get(t, ts.URL+"/figures/fig99"); code != http.StatusNotFound {
+		t.Errorf("unknown figure: %d", code)
+	}
+}

@@ -1,14 +1,15 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sync"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/engine"
+	"repro/internal/workload"
 )
 
 // Options configures a Server.
@@ -19,54 +20,70 @@ type Options struct {
 
 	// TraceDir roots the content-addressed trace store behind the
 	// /traces endpoints. Empty means a temporary directory created on
-	// first use (uploads survive for the process lifetime only, like the
-	// in-memory campaign registry).
+	// first use (uploads survive for the process lifetime only).
 	TraceDir string
+
+	// StateDir roots the engine's persistent state (campaign records,
+	// result artifacts, the deduplicating job-result store). Empty keeps
+	// everything in memory, like the pre-engine server.
+	StateDir string
 }
 
-// Server owns the campaign registry. All fields are guarded by mu; the
-// campaign runs themselves happen on background goroutines.
+// Server is a thin HTTP adapter over engine.Engine: it decodes requests,
+// maps engine state to status codes, and formats artifacts and SSE frames.
+// All campaign state — including what survives a restart — lives in the
+// engine and its Store.
 type Server struct {
 	opts   Options
 	traces traceStoreState
-
-	mu        sync.Mutex
-	seq       int
-	campaigns map[string]*campaignState
-	order     []string // insertion order, for stable listings
+	engine *engine.Engine
 }
 
-// States of a campaign's lifecycle.
+// States of a campaign's lifecycle (the engine's, re-exported for the HTTP
+// surface).
 const (
-	StateRunning   = "running"
-	StateDone      = "done"
-	StateFailed    = "failed"
-	StateCancelled = "cancelled"
+	StateRunning   = engine.StateRunning
+	StateDone      = engine.StateDone
+	StateFailed    = engine.StateFailed
+	StateCancelled = engine.StateCancelled
 )
 
-type campaignState struct {
-	id      string
-	spec    campaign.Spec
-	workers int
-	traces  campaign.TraceOpener
-
-	mu         sync.Mutex
-	state      string
-	total      int
-	done       int
-	failed     int
-	errMsg     string
-	result     *campaign.Result
-	created    time.Time
-	finished   time.Time
-	cancel     context.CancelFunc
-	subs       map[chan []byte]struct{}
-	closedSubs bool
+// New returns a Server ready to serve campaigns. With Options.StateDir set
+// it opens (or recovers) the disk-backed store there: campaigns submitted
+// before a restart are listed with their final status, their artifacts are
+// served, and resubmitted specs are answered from the job-result store
+// without re-executing anything.
+func New(opts Options) (*Server, error) {
+	s := &Server{opts: opts}
+	var store engine.Store
+	if opts.StateDir != "" {
+		ds, err := engine.OpenDirStore(opts.StateDir, nil)
+		if err != nil {
+			return nil, err
+		}
+		store = ds
+	} else {
+		store = engine.NewMemStore()
+	}
+	eng, err := engine.New(store, engine.Options{Workers: opts.Workers, Traces: lazyTraces{s}})
+	if err != nil {
+		return nil, err
+	}
+	s.engine = eng
+	return s, nil
 }
 
-// New returns a Server ready to serve campaigns.
-func New(opts Options) *Server {
-	return &Server{opts: opts, campaigns: map[string]*campaignState{}}
+// lazyTraces resolves trace refs through the server's lazily created trace
+// store, so the engine can be built before the store's first use.
+type lazyTraces struct{ s *Server }
+
+// OpenTrace implements campaign.TraceOpener.
+func (l lazyTraces) OpenTrace(ref string) (workload.TraceReader, string, error) {
+	store, err := l.s.traceStore()
+	if err != nil {
+		return nil, "", err
+	}
+	return store.OpenTrace(ref)
 }
 
 // Handler returns the server's route table.
@@ -82,6 +99,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /traces", s.handleTraceUpload)
 	mux.HandleFunc("GET /traces", s.handleTraceList)
 	mux.HandleFunc("GET /traces/{hash}", s.handleTraceInfo)
+	mux.HandleFunc("GET /figures", s.handleFigureIndex)
+	mux.HandleFunc("GET /figures/{name}", s.handleFigure)
 	return mux
 }
 
@@ -108,11 +127,34 @@ type Status struct {
 	JobsTotal  int               `json:"jobs_total"`
 	JobsDone   int               `json:"jobs_done"`
 	JobsFailed int               `json:"jobs_failed"`
+	CacheHits  int               `json:"cache_hits"`
 	Workers    int               `json:"workers"`
 	Error      string            `json:"error,omitempty"`
 	Created    time.Time         `json:"created"`
 	Finished   *time.Time        `json:"finished,omitempty"`
 	Summary    *campaign.Summary `json:"summary,omitempty"`
+}
+
+// statusOf maps an engine record to its HTTP representation.
+func statusOf(c engine.Campaign) Status {
+	st := Status{
+		ID:         c.ID,
+		Name:       c.Name,
+		State:      c.State,
+		JobsTotal:  c.JobsTotal,
+		JobsDone:   c.JobsDone,
+		JobsFailed: c.JobsFailed,
+		CacheHits:  c.CacheHits,
+		Workers:    c.Workers,
+		Error:      c.Error,
+		Created:    c.Created,
+		Summary:    c.Summary,
+	}
+	if !c.Finished.IsZero() {
+		f := c.Finished
+		st.Finished = &f
+	}
+	return st
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -127,203 +169,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	jobs, err := req.Spec.Jobs()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	var traces campaign.TraceOpener
 	if req.Spec.TraceRef != "" {
-		store, err := s.traceStore()
-		if err != nil {
+		// Creating the trace store can fail for reasons that are the
+		// server's fault, not the request's; distinguish them before
+		// the engine folds ref resolution into submission validation.
+		if _, err := s.traceStore(); err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		// Resolve now so a bad ref fails the submission, not every job.
-		if _, err := store.Stat(req.Spec.TraceRef); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
+	}
+	rec, err := s.engine.Submit(req.Spec, req.Workers)
+	if err != nil {
+		// A store that cannot persist the record is the server's fault;
+		// everything else (bad spec, unknown trace ref) is the
+		// request's.
+		code := http.StatusBadRequest
+		if errors.Is(err, engine.ErrStore) {
+			code = http.StatusInternalServerError
 		}
-		traces = store
+		httpError(w, code, err.Error())
+		return
 	}
-	workers := req.Workers
-	if workers <= 0 {
-		workers = s.opts.Workers
-	}
-
-	ctx, cancel := context.WithCancel(context.Background())
-	s.mu.Lock()
-	s.seq++
-	id := fmt.Sprintf("c%06d", s.seq)
-	st := &campaignState{
-		id:      id,
-		spec:    req.Spec,
-		workers: workers,
-		traces:  traces,
-		state:   StateRunning,
-		total:   len(jobs),
-		created: time.Now().UTC(),
-		cancel:  cancel,
-		subs:    map[chan []byte]struct{}{},
-	}
-	s.campaigns[id] = st
-	s.order = append(s.order, id)
-	s.mu.Unlock()
-
-	go st.run(ctx)
-
-	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, Jobs: len(jobs), URL: "/campaigns/" + id})
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: rec.ID, Jobs: rec.JobsTotal, URL: "/campaigns/" + rec.ID})
 }
 
-// run executes the campaign to completion and broadcasts its progress.
-func (c *campaignState) run(ctx context.Context) {
-	res, err := campaign.Run(ctx, c.spec, campaign.RunOptions{
-		Workers:    c.workers,
-		OnProgress: c.onProgress,
-		Traces:     c.traces,
-	})
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.finished = time.Now().UTC()
-	switch {
-	case err == nil && res != nil:
-		// A completed campaign keeps its result even if a cancel
-		// raced in after the last job finished.
-		c.result = res
-		if res.Summary.Failed > 0 {
-			c.state = StateFailed
-			c.errMsg = res.FirstError().Error()
-		} else {
-			c.state = StateDone
-		}
-	case ctx.Err() != nil:
-		c.state = StateCancelled
-		c.errMsg = ctx.Err().Error()
-	default:
-		c.state = StateFailed
-		c.errMsg = err.Error()
-	}
-	c.broadcastLocked(event("status", c.statusLocked()))
-	for ch := range c.subs {
-		close(ch)
-	}
-	c.subs = map[chan []byte]struct{}{}
-	c.closedSubs = true
-}
-
-func (c *campaignState) onProgress(p campaign.Progress) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.done = p.Done
-	if p.Error != "" {
-		c.failed++
-	}
-	c.broadcastLocked(event("progress", p))
-}
-
-// broadcastLocked sends an encoded SSE frame to every subscriber,
-// dropping frames for subscribers whose buffers are full.
-func (c *campaignState) broadcastLocked(frame []byte) {
-	for ch := range c.subs {
-		select {
-		case ch <- frame:
-		default:
-		}
-	}
-}
-
-// subscribe registers an SSE listener; the returned channel is closed when
-// the campaign finishes. ok is false when the campaign has already
-// finished.
-func (c *campaignState) subscribe() (ch chan []byte, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closedSubs {
-		return nil, false
-	}
-	ch = make(chan []byte, 64)
-	c.subs[ch] = struct{}{}
-	return ch, true
-}
-
-func (c *campaignState) unsubscribe(ch chan []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.subs, ch)
-}
-
-func (c *campaignState) status() Status {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.statusLocked()
-}
-
-func (c *campaignState) statusLocked() Status {
-	st := Status{
-		ID:         c.id,
-		Name:       c.spec.Name,
-		State:      c.state,
-		JobsTotal:  c.total,
-		JobsDone:   c.done,
-		JobsFailed: c.failed,
-		Workers:    c.workers,
-		Error:      c.errMsg,
-		Created:    c.created,
-	}
-	if !c.finished.IsZero() {
-		f := c.finished
-		st.Finished = &f
-	}
-	if c.result != nil {
-		sum := c.result.Summary
-		st.Summary = &sum
-	}
-	return st
-}
-
-func (s *Server) lookup(id string) (*campaignState, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.campaigns[id]
-	return c, ok
-}
-
+// handleList returns every campaign's status, sorted by submission
+// sequence — the order is stable across repeated polls and restarts.
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	states := make([]*campaignState, 0, len(s.order))
-	for _, id := range s.order {
-		states = append(states, s.campaigns[id])
-	}
-	s.mu.Unlock()
-	out := make([]Status, len(states))
-	for i, c := range states {
-		out[i] = c.status()
+	recs := s.engine.List()
+	out := make([]Status, len(recs))
+	for i, rec := range recs {
+		out[i] = statusOf(rec)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	c, ok := s.lookup(r.PathValue("id"))
+	rec, ok := s.engine.Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown campaign")
 		return
 	}
-	writeJSON(w, http.StatusOK, c.status())
+	writeJSON(w, http.StatusOK, statusOf(rec))
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	c, ok := s.lookup(r.PathValue("id"))
+	rec, ok := s.engine.Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown campaign")
 		return
 	}
-	c.mu.Lock()
-	res := c.result
-	state := c.state
-	c.mu.Unlock()
-	if res == nil {
-		httpError(w, http.StatusConflict, fmt.Sprintf("campaign is %s; results not available", state))
+	res, err := s.engine.Result(rec.ID)
+	if err != nil {
+		if errors.Is(err, engine.ErrNotFound) {
+			httpError(w, http.StatusConflict, fmt.Sprintf("campaign is %s; results not available", rec.State))
+		} else {
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
 		return
 	}
 	switch r.URL.Query().Get("format") {
@@ -334,6 +236,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", rec.ID+".csv"))
 		if err := res.WriteCSV(w); err != nil {
 			return
 		}
@@ -343,21 +246,21 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	c, ok := s.lookup(r.PathValue("id"))
-	if !ok {
+	id := r.PathValue("id")
+	if !s.engine.Cancel(id) {
 		httpError(w, http.StatusNotFound, "unknown campaign")
 		return
 	}
-	c.cancel()
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": c.id, "state": "cancelling"})
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": "cancelling"})
 }
 
 // handleEvents streams a campaign's progress as server-sent events: an
-// initial "status" event, one "progress" event per completed job, and a
-// final "status" event when the campaign finishes.
+// initial "status" event, one "progress" event per completed job (cached
+// jobs carry "cached": true), and a final "status" event when the campaign
+// finishes.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	c, ok := s.lookup(r.PathValue("id"))
-	if !ok {
+	id := r.PathValue("id")
+	if _, ok := s.engine.Get(id); !ok {
 		httpError(w, http.StatusNotFound, "unknown campaign")
 		return
 	}
@@ -372,11 +275,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	// Subscribe before the initial snapshot so a completion landing in
 	// between is still delivered (as the closing broadcast).
-	ch, live := c.subscribe()
+	ch, unsubscribe, live := s.engine.Subscribe(id)
 	if live {
-		defer c.unsubscribe(ch)
+		defer unsubscribe()
 	}
-	if _, err := w.Write(event("status", c.status())); err != nil {
+	rec, _ := s.engine.Get(id)
+	if _, err := w.Write(event("status", statusOf(rec))); err != nil {
 		return
 	}
 	flusher.Flush()
@@ -385,15 +289,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	for {
 		select {
-		case frame, open := <-ch:
+		case ev, open := <-ch:
 			if !open {
 				// The campaign finished. Broadcast frames are
 				// dropped for slow subscribers, so emit the
 				// terminal status directly to guarantee every
 				// stream ends with one.
-				_, _ = w.Write(event("status", c.status()))
+				rec, _ := s.engine.Get(id)
+				_, _ = w.Write(event("status", statusOf(rec)))
 				flusher.Flush()
 				return
+			}
+			var frame []byte
+			switch ev.Type {
+			case "progress":
+				frame = event("progress", ev.Progress)
+			case "status":
+				frame = event("status", statusOf(*ev.Status))
+			default:
+				continue
 			}
 			if _, err := w.Write(frame); err != nil {
 				return

@@ -13,6 +13,18 @@ import (
 	"repro/internal/campaign"
 )
 
+// newTestServer builds a Server over opts and serves it from httptest.
+func newTestServer(t *testing.T, opts Options) *httptest.Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
 // submit posts a small campaign and returns its id.
 func submit(t *testing.T, ts *httptest.Server, spec campaign.Spec, workers int) SubmitResponse {
 	t.Helper()
@@ -80,8 +92,7 @@ func testSpec() campaign.Spec {
 }
 
 func TestServerLifecycle(t *testing.T) {
-	ts := httptest.NewServer(New(Options{Workers: 2}).Handler())
-	defer ts.Close()
+	ts := newTestServer(t, Options{Workers: 2})
 
 	// Liveness.
 	var health map[string]string
@@ -144,8 +155,7 @@ func TestServerLifecycle(t *testing.T) {
 }
 
 func TestServerRejectsBadRequests(t *testing.T) {
-	ts := httptest.NewServer(New(Options{}).Handler())
-	defer ts.Close()
+	ts := newTestServer(t, Options{})
 
 	// Unknown campaign.
 	if code := getJSON(t, ts.URL+"/campaigns/nope", nil); code != http.StatusNotFound {
@@ -173,8 +183,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 }
 
 func TestServerResultsConflictWhileRunning(t *testing.T) {
-	ts := httptest.NewServer(New(Options{Workers: 1}).Handler())
-	defer ts.Close()
+	ts := newTestServer(t, Options{Workers: 1})
 
 	// A bigger campaign so it is still running when we poke it.
 	spec := campaign.Spec{Profiles: []string{"xalancbmk", "omnetpp", "dealII"}, MinSweeps: 2}
@@ -202,8 +211,7 @@ func TestServerResultsConflictWhileRunning(t *testing.T) {
 }
 
 func TestServerEventsStream(t *testing.T) {
-	ts := httptest.NewServer(New(Options{Workers: 1}).Handler())
-	defer ts.Close()
+	ts := newTestServer(t, Options{Workers: 1})
 
 	sub := submit(t, ts, testSpec(), 1)
 	resp, err := http.Get(ts.URL + "/campaigns/" + sub.ID + "/events")

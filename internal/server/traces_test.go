@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -43,8 +42,7 @@ func recordTestTrace(t *testing.T) []byte {
 }
 
 func TestTraceUploadListInfo(t *testing.T) {
-	ts := httptest.NewServer(New(Options{Workers: 2, TraceDir: t.TempDir()}).Handler())
-	defer ts.Close()
+	ts := newTestServer(t, Options{Workers: 2, TraceDir: t.TempDir()})
 	data := recordTestTrace(t)
 
 	resp, err := http.Post(ts.URL+"/traces", "application/octet-stream", bytes.NewReader(data))
@@ -107,8 +105,7 @@ func TestTraceUploadListInfo(t *testing.T) {
 // endpoint exists for: upload a trace, submit a campaign referencing it by
 // hash, and read back artifacts stamped with that hash.
 func TestTraceDrivenCampaignOverHTTP(t *testing.T) {
-	ts := httptest.NewServer(New(Options{Workers: 2, TraceDir: t.TempDir()}).Handler())
-	defer ts.Close()
+	ts := newTestServer(t, Options{Workers: 2, TraceDir: t.TempDir()})
 
 	resp, err := http.Post(ts.URL+"/traces", "application/octet-stream", bytes.NewReader(recordTestTrace(t)))
 	if err != nil {

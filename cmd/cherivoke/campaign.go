@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/campaign"
@@ -16,26 +17,49 @@ import (
 	"repro/internal/server"
 )
 
-// serveCmd runs the campaign HTTP service.
+// serveCmd runs the campaign HTTP service — single-node by default, a
+// distributed worker with -worker, a coordinator with -worker-urls or
+// -workers-from (see docs/DEPLOYMENT.md).
 //
 //	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]
+//	                [-worker] [-worker-urls url,url] [-workers-from file]
+//	                [-auth-token tok] [-worker-inflight N]
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	workers := fs.Int("workers", 0, "default campaign worker-pool width (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "default campaign worker-pool width (0 = GOMAXPROCS, or the fleet capacity when coordinating)")
 	traceDir := fs.String("tracedir", "", "trace-store directory (default: a temporary directory)")
 	stateDir := fs.String("statedir", "", "persistent state directory: campaigns, artifacts, and the job-result store survive restarts (default: in-memory)")
+	worker := fs.Bool("worker", false, "worker mode: expose the internal job-execution API (POST /internal/jobs)")
+	workerURLs := fs.String("worker-urls", "", "coordinator mode: comma-separated worker base URLs to shard campaign jobs across")
+	workersFrom := fs.String("workers-from", "", "coordinator mode: file of worker base URLs, one per line ('#' comments)")
+	authToken := fs.String("auth-token", "", "bearer token for the internal job API (workers require it, coordinators send it; empty = unauthenticated)")
+	workerInflight := fs.Int("worker-inflight", 0, "max jobs dispatched concurrently per worker (0 = 4)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]")
+		fmt.Fprintln(os.Stderr, "                       [-worker] [-worker-urls url,url] [-workers-from file] [-auth-token tok] [-worker-inflight N]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc, err := server.New(server.Options{Workers: *workers, TraceDir: *traceDir, StateDir: *stateDir})
+	urls, err := workerList(*workerURLs, *workersFrom)
 	if err != nil {
 		return err
 	}
+	svc, err := server.New(server.Options{
+		Workers:        *workers,
+		TraceDir:       *traceDir,
+		StateDir:       *stateDir,
+		Worker:         *worker,
+		WorkerURLs:     urls,
+		AuthToken:      *authToken,
+		WorkerInFlight: *workerInflight,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -46,7 +70,45 @@ func serveCmd(args []string) error {
 	if *stateDir != "" {
 		fmt.Printf("  state persisted under %s\n", *stateDir)
 	}
+	if *worker {
+		fmt.Printf("  worker mode: POST /internal/jobs enabled (auth %s)\n", authMode(*authToken))
+	}
+	if len(urls) > 0 {
+		fmt.Printf("  coordinating %d workers: %s\n", len(urls), strings.Join(urls, ", "))
+	}
 	return srv.ListenAndServe()
+}
+
+func authMode(token string) string {
+	if token == "" {
+		return "disabled"
+	}
+	return "bearer token"
+}
+
+// workerList merges the -worker-urls flag and the -workers-from file into
+// one worker roster, preserving order (flag entries first). The file format
+// is one base URL per line; blank lines and '#' comments are skipped.
+func workerList(flagList, fromFile string) ([]string, error) {
+	var urls []string
+	for _, u := range strings.Split(flagList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if fromFile != "" {
+		data, err := os.ReadFile(fromFile)
+		if err != nil {
+			return nil, fmt.Errorf("reading worker list: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line, _, _ = strings.Cut(line, "#")
+			if line = strings.TrimSpace(line); line != "" {
+				urls = append(urls, line)
+			}
+		}
+	}
+	return urls, nil
 }
 
 // campaignCmd runs one campaign locally on the worker pool and writes its

@@ -58,14 +58,14 @@ func TestDocsLinksResolve(t *testing.T) {
 	}
 }
 
-// TestDocsAreLinkedFromReadme pins the acceptance requirement: the three
+// TestDocsAreLinkedFromReadme pins the acceptance requirement: the
 // architecture documents exist and README links every one of them.
 func TestDocsAreLinkedFromReadme(t *testing.T) {
 	readme, err := os.ReadFile("README.md")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/API.md", "docs/TRACE_FORMAT.md"} {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/API.md", "docs/TRACE_FORMAT.md", "docs/DEPLOYMENT.md"} {
 		if _, err := os.Stat(doc); err != nil {
 			t.Errorf("%s missing: %v", doc, err)
 			continue

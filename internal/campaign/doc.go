@@ -9,6 +9,10 @@
 // self-seeded and shares no state with its siblings, and results are
 // aggregated by job ID, so a campaign's output is byte-identical whether it
 // runs on one worker or many. The worker pool only changes wall-clock time.
+// The same contract holds across processes: ExecuteJob is the exported
+// single-job unit a remote worker runs on behalf of a coordinator, and
+// RunOptions.Runner lets internal/engine's dispatcher route each job to
+// such a worker without the pool — or the artifacts — noticing.
 //
 // Jobs draw their events from one of two sources. By default each job
 // generates its workload from its profile (workload.Run). A spec with a

@@ -119,6 +119,17 @@ func jobConfig(job Job) core.Config {
 	return cfg
 }
 
+// ExecuteJob runs one fully expanded job in isolation, exactly as Run's
+// worker pool would: same system construction, same measurements, same
+// JobResult — byte for byte once serialised. It is the unit a remote worker
+// executes on behalf of a coordinator (see internal/engine's Runner seam):
+// spec supplies the job-independent plan (image sweeps, trace window) and
+// is normalised here, so a spec serialised mid-campaign and re-decoded in
+// another process yields identical results.
+func ExecuteJob(spec Spec, job Job, traces TraceOpener) JobResult {
+	return runJob(spec.withDefaults(), job, traces)
+}
+
 // runJob executes one job in isolation: it builds a fresh system from the
 // job's parameters, runs the workload — generated from the job's profile,
 // or streamed from the spec's trace — and measures everything the

@@ -33,6 +33,23 @@ type RunOptions struct {
 	// never stored: their errors may be transient (a missing trace, a
 	// full disk). Methods must be safe for concurrent use by the pool.
 	Cache JobCache
+
+	// Runner, when set, replaces in-process job execution: every cache
+	// miss is handed to it instead of ExecuteJob. It is the distribution
+	// seam — internal/engine plugs in a dispatcher that fans jobs out to
+	// remote worker processes. Implementations must be safe for
+	// concurrent use by the pool and must preserve the determinism
+	// contract: for a given (spec, job) the returned JobResult must be
+	// exactly what ExecuteJob would produce. A returned error marks the
+	// job failed (it is a transport-level failure; job-level failures
+	// travel inside JobResult.Error).
+	Runner JobRunner
+}
+
+// JobRunner executes one fully expanded job from a normalised spec. Nil in
+// RunOptions means in-process execution via ExecuteJob.
+type JobRunner interface {
+	RunJob(ctx context.Context, spec Spec, job Job) (JobResult, error)
 }
 
 // JobCache serves previously computed job results. The spec passed to both
@@ -152,7 +169,19 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 					}
 				}
 				if !cached {
-					jr = runJob(spec, jobs[i], opts.Traces)
+					if opts.Runner != nil {
+						var err error
+						jr, err = opts.Runner.RunJob(ctx, spec, jobs[i])
+						if err != nil {
+							jr = failed(jobs[i], err)
+						}
+						// The runner may have crossed a process
+						// boundary; the expansion ID is this
+						// campaign's own, like a cache hit's.
+						jr.Job = jobs[i]
+					} else {
+						jr = runJob(spec, jobs[i], opts.Traces)
+					}
 					if opts.Cache != nil && jr.Error == "" {
 						opts.Cache.Store(spec, jobs[i], jr)
 					}

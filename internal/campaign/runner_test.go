@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// echoRunner executes jobs through ExecuteJob — what a well-behaved remote
+// worker does — and counts the calls. Jobs are returned with a clobbered
+// expansion ID to prove Run re-stamps them.
+type echoRunner struct {
+	calls atomic.Int64
+}
+
+func (r *echoRunner) RunJob(_ context.Context, spec Spec, job Job) (JobResult, error) {
+	r.calls.Add(1)
+	jr := ExecuteJob(spec, job, nil)
+	jr.Job.ID = -1 // a remote echo may disagree on scheduling metadata
+	return jr, nil
+}
+
+// failingRunner models a transport that cannot reach any worker.
+type failingRunner struct{}
+
+func (failingRunner) RunJob(context.Context, Spec, Job) (JobResult, error) {
+	return JobResult{}, errors.New("fleet unreachable")
+}
+
+// TestRunWithRunnerByteIdentity: routing every job through RunOptions.Runner
+// must leave the artifacts byte-identical to in-process execution — the
+// contract that makes distribution invisible in results.
+func TestRunWithRunnerByteIdentity(t *testing.T) {
+	spec := Spec{
+		Profiles:  []string{"povray", "hmmer"},
+		MaxLive:   []uint64{1 << 20},
+		MinSweeps: 1,
+		MaxEvents: 10000,
+	}
+	direct, err := Run(context.Background(), spec, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &echoRunner{}
+	routed, err := Run(context.Background(), spec, RunOptions{Workers: 2, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.calls.Load() != 2 {
+		t.Fatalf("runner executed %d jobs, want 2", runner.calls.Load())
+	}
+	var a, b bytes.Buffer
+	if err := direct.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := routed.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("runner-routed artifact differs from direct execution")
+	}
+}
+
+// TestRunWithRunnerTransportFailure: a runner error is a job failure (with
+// the transport's message), not a campaign abort.
+func TestRunWithRunnerTransportFailure(t *testing.T) {
+	spec := Spec{Profiles: []string{"povray"}, MaxLive: []uint64{1 << 20}, MinSweeps: 1, MaxEvents: 10000}
+	res, err := Run(context.Background(), spec, RunOptions{Workers: 1, Runner: failingRunner{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Failed != 1 {
+		t.Fatalf("failed jobs = %d, want 1", res.Summary.Failed)
+	}
+	if !strings.Contains(res.Jobs[0].Error, "fleet unreachable") {
+		t.Errorf("job error %q does not carry the transport failure", res.Jobs[0].Error)
+	}
+}

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"log"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// DispatcherOptions tunes a Dispatcher. The zero value of every field is
+// usable.
+type DispatcherOptions struct {
+	// Local executes jobs in-process when no worker can (every worker
+	// down or failing). Nil builds a LocalRunner with no trace opener —
+	// deployments that replay traces should supply one wired to their
+	// trace store.
+	Local Runner
+
+	// InFlight bounds concurrently dispatched jobs per worker
+	// (0 = 4). Together with the campaign pool width it is the
+	// coordinator's backpressure: a slow worker queues, it is not
+	// flooded.
+	InFlight int
+
+	// ProbeInterval is how often workers marked down are re-probed via
+	// their health endpoint (0 = 3s). A worker that answers again
+	// rejoins the rotation.
+	ProbeInterval time.Duration
+
+	// Logf receives dispatch diagnostics (worker down, job reassigned,
+	// local fallback). Nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// Dispatcher shards jobs across a fleet of worker processes by JobKey
+// hash and implements Runner over the whole fleet:
+//
+//   - the preferred worker for a job is worker[keyhash % N] — stable
+//     affinity, so repeated campaigns route identical jobs to the same
+//     worker;
+//   - dispatch is bounded per worker (InFlight slots);
+//   - a worker whose transport fails (or answers 5xx) is marked down and
+//     the job is reassigned to the next healthy worker —
+//     retry-with-reassignment, never retry against the same dead worker;
+//     a worker that *rejects* a job (ErrJobRejected: missing trace, key
+//     mismatch, bad credential) stays in the rotation while the job is
+//     rerouted, so one unroutable job cannot collapse a healthy fleet;
+//   - when every worker is down or has refused the job, the job runs
+//     locally — bounded to GOMAXPROCS, independent of the fleet-sized
+//     pool width — so a campaign always completes without oversubscribing
+//     the coordinator;
+//   - down workers are re-probed on ProbeInterval and rejoin when their
+//     health endpoint answers.
+//
+// Results are unaffected by any of this: workers execute
+// campaign.ExecuteJob on the same inputs, so where a job ran is invisible
+// in the artifacts.
+type Dispatcher struct {
+	workers []*dispatchWorker
+	local   Runner
+	// localSlots bounds concurrent fallback executions: the pool width is
+	// sized for the fleet (Capacity), not for this machine, so a down
+	// fleet must not translate into Capacity concurrent local
+	// simulations.
+	localSlots chan struct{}
+	probe      time.Duration
+	logf       func(format string, args ...any)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+
+	mu    sync.Mutex
+	stats DispatchStats
+}
+
+// DispatchStats counts where a dispatcher's jobs ran.
+type DispatchStats struct {
+	// Remote counts jobs executed by a worker.
+	Remote int
+	// Reassigned counts jobs that succeeded on a worker other than
+	// their preferred one (a retry after a failure or a down mark).
+	Reassigned int
+	// LocalFallback counts jobs executed locally because no worker
+	// could take them.
+	LocalFallback int
+}
+
+// dispatchWorker is one worker's dispatch state: the transport, the
+// in-flight bound, and the health flag.
+type dispatchWorker struct {
+	runner *RemoteRunner
+	slots  chan struct{}
+
+	mu   sync.Mutex
+	down bool
+}
+
+func (w *dispatchWorker) isDown() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.down
+}
+
+func (w *dispatchWorker) setDown(down bool) (changed bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	changed = w.down != down
+	w.down = down
+	return changed
+}
+
+// NewDispatcher builds a dispatcher over the given workers and starts its
+// health-probe loop. Close releases the loop. An empty worker list is
+// legal: every job falls through to the local runner (the single-node
+// degenerate case).
+func NewDispatcher(workers []*RemoteRunner, opts DispatcherOptions) *Dispatcher {
+	inflight := opts.InFlight
+	if inflight <= 0 {
+		inflight = 4
+	}
+	probe := opts.ProbeInterval
+	if probe <= 0 {
+		probe = 3 * time.Second
+	}
+	local := opts.Local
+	if local == nil {
+		local = &LocalRunner{}
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	d := &Dispatcher{
+		local:      local,
+		localSlots: make(chan struct{}, runtime.GOMAXPROCS(0)),
+		probe:      probe,
+		logf:       logf,
+		stop:       make(chan struct{}),
+	}
+	for _, r := range workers {
+		d.workers = append(d.workers, &dispatchWorker{
+			runner: r,
+			slots:  make(chan struct{}, inflight),
+		})
+	}
+	if len(d.workers) > 0 {
+		go d.healthLoop()
+	}
+	return d
+}
+
+// Close stops the health-probe loop. In-flight jobs are unaffected.
+func (d *Dispatcher) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+}
+
+// Capacity returns the fleet's total in-flight job bound — a sensible
+// default campaign pool width for a coordinator (0 when no workers are
+// configured).
+func (d *Dispatcher) Capacity() int {
+	if len(d.workers) == 0 {
+		return 0
+	}
+	return len(d.workers) * cap(d.workers[0].slots)
+}
+
+// Stats returns a snapshot of where jobs have run so far.
+func (d *Dispatcher) Stats() DispatchStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// WorkerState is one worker's externally visible dispatch state.
+type WorkerState struct {
+	URL  string `json:"url"`
+	Down bool   `json:"down"`
+}
+
+// WorkerStates reports each worker's URL and health, in configuration
+// order — the coordinator's health surface.
+func (d *Dispatcher) WorkerStates() []WorkerState {
+	out := make([]WorkerState, len(d.workers))
+	for i, w := range d.workers {
+		out[i] = WorkerState{URL: w.runner.URL(), Down: w.isDown()}
+	}
+	return out
+}
+
+// shardIndex maps a JobKey (hex SHA-256) onto n workers by its leading 64
+// bits. Keys shorter than 16 hex digits or with non-hex bytes (not
+// produced by JobKey, but defended against) fall back to an FNV-1a fold.
+func shardIndex(key string, n int) int {
+	if len(key) >= 16 {
+		if h, err := strconv.ParseUint(key[:16], 16, 64); err == nil {
+			return int(h % uint64(n))
+		}
+	}
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// RunJob implements Runner: dispatch to the job's preferred worker, walk
+// the ring on failure, fall back to local execution when the whole fleet
+// is unavailable.
+func (d *Dispatcher) RunJob(ctx context.Context, key string, spec campaign.Spec, job campaign.Job) (campaign.JobResult, error) {
+	n := len(d.workers)
+	if n == 0 {
+		return d.local.RunJob(ctx, key, spec, job)
+	}
+	start := shardIndex(key, n)
+	for off := 0; off < n; off++ {
+		w := d.workers[(start+off)%n]
+		if w.isDown() {
+			continue
+		}
+		// The slot bound is the per-worker backpressure; cancellation
+		// must still win while queued.
+		select {
+		case w.slots <- struct{}{}:
+		case <-ctx.Done():
+			return campaign.JobResult{}, ctx.Err()
+		}
+		jr, err := w.runner.RunJob(ctx, key, spec, job)
+		<-w.slots
+		if err == nil {
+			d.mu.Lock()
+			d.stats.Remote++
+			if off > 0 {
+				d.stats.Reassigned++
+			}
+			d.mu.Unlock()
+			return jr, nil
+		}
+		if ctx.Err() != nil {
+			return campaign.JobResult{}, ctx.Err()
+		}
+		if errors.Is(err, ErrJobRejected) {
+			// The worker is alive and said no to this job; keep it in
+			// the rotation and route the job onward.
+			d.logf("engine: job %.12s rerouted: %v", key, err)
+			continue
+		}
+		if w.setDown(true) {
+			d.logf("engine: worker %s marked down: %v", w.runner.URL(), err)
+		}
+	}
+	d.mu.Lock()
+	d.stats.LocalFallback++
+	d.mu.Unlock()
+	d.logf("engine: no worker available for job %.12s; executing locally", key)
+	select {
+	case d.localSlots <- struct{}{}:
+	case <-ctx.Done():
+		return campaign.JobResult{}, ctx.Err()
+	}
+	defer func() { <-d.localSlots }()
+	return d.local.RunJob(ctx, key, spec, job)
+}
+
+// healthLoop re-probes down workers until Close.
+func (d *Dispatcher) healthLoop() {
+	t := time.NewTicker(d.probe)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.probeDown(context.Background())
+		}
+	}
+}
+
+// probeDown probes every down worker once and revives those that answer.
+func (d *Dispatcher) probeDown(ctx context.Context) {
+	for _, w := range d.workers {
+		if !w.isDown() {
+			continue
+		}
+		if err := w.runner.Healthy(ctx); err == nil {
+			if w.setDown(false) {
+				d.logf("engine: worker %s healthy again", w.runner.URL())
+			}
+		}
+	}
+}

@@ -20,6 +20,18 @@
 //     JSON and CSV artifacts to a cold run; the cache changes cost, never
 //     results.
 //
+//   - Runner: the distribution seam. The engine hands every cache-miss job
+//     to its configured Runner along with the job's key. LocalRunner
+//     executes in-process (the default); RemoteRunner forwards one job to a
+//     worker process's internal HTTP API; Dispatcher implements Runner over
+//     a whole fleet — jobs shard across workers by JobKey hash with bounded
+//     per-worker dispatch, failed workers are marked down and their jobs
+//     reassigned, and local execution is the last resort, so campaigns
+//     always complete. Because the routing key is the dedup key and workers
+//     execute the same campaign.ExecuteJob a local pool would, artifacts
+//     are byte-identical at any worker count and the fleet shares one
+//     deduplicated job store.
+//
 // The engine deliberately excludes from the key everything that only
 // schedules work: worker counts, sweep-shard membership of the pool,
 // Spec.TraceWindow, and the spelling of a trace ref (a prefix and the full

@@ -69,6 +69,14 @@ type Options struct {
 	// the deployment has no trace store).
 	Traces campaign.TraceOpener
 
+	// Runner, when set, executes the jobs the job-result store cannot
+	// serve — the distribution seam. A coordinator passes a Dispatcher
+	// here to fan jobs out across worker processes; nil executes
+	// in-process via campaign's own pool. Either way results flow back
+	// through the Store, so the fleet shares one deduplicated job
+	// cache.
+	Runner Runner
+
 	// SkipRecovery leaves records that are marked running untouched on
 	// open instead of finalising them. Recovery belongs to the store's
 	// owner — the serving process; a secondary consumer of a shared
@@ -229,6 +237,7 @@ func (e *Engine) execute(ctx context.Context, r *run) {
 		Workers:    workers,
 		Traces:     e.opts.Traces,
 		Cache:      &storeCache{store: e.store, traceHash: traceHash},
+		Runner:     e.jobRunner(traceHash),
 		OnProgress: r.onProgress,
 	})
 	if err == nil && res != nil {
@@ -374,6 +383,28 @@ func (e *Engine) Subscribe(id string) (ch <-chan Event, unsubscribe func(), live
 	}, true
 }
 
+// jobRunner adapts the engine's Runner — if one is configured — to the
+// campaign pool's per-job seam, pinning the campaign's resolved trace hash
+// into every job's key. Nil (the common case) keeps execution in-process.
+func (e *Engine) jobRunner(traceHash string) campaign.JobRunner {
+	if e.opts.Runner == nil {
+		return nil
+	}
+	return &jobDispatch{runner: e.opts.Runner, traceHash: traceHash}
+}
+
+// jobDispatch is the campaign.JobRunner view of an engine Runner: it
+// computes the job's content key and forwards.
+type jobDispatch struct {
+	runner    Runner
+	traceHash string
+}
+
+// RunJob implements campaign.JobRunner.
+func (d *jobDispatch) RunJob(ctx context.Context, spec campaign.Spec, job campaign.Job) (campaign.JobResult, error) {
+	return d.runner.RunJob(ctx, JobKey(spec, job, d.traceHash), spec, job)
+}
+
 // storeCache adapts the Store to campaign.JobCache for one campaign run,
 // pinning the resolved trace hash into every key.
 type storeCache struct {
@@ -445,6 +476,7 @@ func (e *Engine) Resolve(ctx context.Context, spec campaign.Spec, opts ResolveOp
 		Workers: workers,
 		Traces:  traces,
 		Cache:   &storeCache{store: e.store, traceHash: traceHash},
+		Runner:  e.jobRunner(traceHash),
 		OnProgress: func(p campaign.Progress) {
 			if p.Cached {
 				stats.CacheHits++

@@ -19,7 +19,16 @@
 //	GET    /traces/{hash}          one trace's metadata
 //	GET    /figures                list servable figures
 //	GET    /figures/{name}         figure rows (?quick=1), engine-resolved
-//	GET    /healthz                liveness probe
+//	GET    /healthz                liveness probe (+ fleet state on a coordinator)
+//	POST   /internal/jobs          execute one job (worker mode, bearer auth)
+//
+// The server also scales past one process: Options.Worker exposes the
+// internal job-execution API so this process can execute single jobs for a
+// coordinator, and Options.WorkerURLs makes this process the coordinator —
+// its engine shards campaign jobs across the listed workers by job-key
+// hash (engine.Dispatcher), with retry-with-reassignment on failure and
+// local fallback, while all state and the fleet-shared dedup store stay
+// here. Topologies and failure semantics: docs/DEPLOYMENT.md.
 //
 // The full request/response reference, with curl examples, is
 // docs/API.md.

@@ -27,6 +27,31 @@ type Options struct {
 	// result artifacts, the deduplicating job-result store). Empty keeps
 	// everything in memory, like the pre-engine server.
 	StateDir string
+
+	// Worker exposes the internal job-execution API (POST
+	// /internal/jobs): this process will execute single jobs on behalf
+	// of a coordinator.
+	Worker bool
+
+	// WorkerURLs lists worker base URLs ("http://host:port"). Non-empty
+	// makes this process a coordinator: campaign jobs are sharded across
+	// the listed workers by JobKey hash, with retry-with-reassignment on
+	// worker failure and local execution as the last resort. Empty keeps
+	// all execution in-process.
+	WorkerURLs []string
+
+	// AuthToken guards the internal API: workers require it as a bearer
+	// credential on /internal/* requests, and a coordinator sends it on
+	// every dispatch. Empty disables the check (trusted networks only).
+	AuthToken string
+
+	// WorkerInFlight bounds concurrently dispatched jobs per worker
+	// (0 = 4).
+	WorkerInFlight int
+
+	// HealthInterval is the re-probe period for workers marked down
+	// (0 = 3s).
+	HealthInterval time.Duration
 }
 
 // Server is a thin HTTP adapter over engine.Engine: it decodes requests,
@@ -34,9 +59,10 @@ type Options struct {
 // All campaign state — including what survives a restart — lives in the
 // engine and its Store.
 type Server struct {
-	opts   Options
-	traces traceStoreState
-	engine *engine.Engine
+	opts       Options
+	traces     traceStoreState
+	engine     *engine.Engine
+	dispatcher *engine.Dispatcher // nil unless Options.WorkerURLs configured
 }
 
 // States of a campaign's lifecycle (the engine's, re-exported for the HTTP
@@ -65,12 +91,42 @@ func New(opts Options) (*Server, error) {
 	} else {
 		store = engine.NewMemStore()
 	}
-	eng, err := engine.New(store, engine.Options{Workers: opts.Workers, Traces: lazyTraces{s}})
+	engOpts := engine.Options{Workers: opts.Workers, Traces: lazyTraces{s}}
+	if len(opts.WorkerURLs) > 0 {
+		remotes := make([]*engine.RemoteRunner, len(opts.WorkerURLs))
+		for i, url := range opts.WorkerURLs {
+			remotes[i] = engine.NewRemoteRunner(url, opts.AuthToken)
+		}
+		s.dispatcher = engine.NewDispatcher(remotes, engine.DispatcherOptions{
+			Local:         &engine.LocalRunner{Traces: lazyTraces{s}},
+			InFlight:      opts.WorkerInFlight,
+			ProbeInterval: opts.HealthInterval,
+		})
+		engOpts.Runner = s.dispatcher
+		if engOpts.Workers == 0 {
+			// Default the pool width to the fleet's in-flight capacity
+			// so a coordinator keeps every worker busy instead of
+			// pacing the fleet at its own GOMAXPROCS.
+			engOpts.Workers = s.dispatcher.Capacity()
+		}
+	}
+	eng, err := engine.New(store, engOpts)
 	if err != nil {
+		if s.dispatcher != nil {
+			s.dispatcher.Close()
+		}
 		return nil, err
 	}
 	s.engine = eng
 	return s, nil
+}
+
+// Close releases the server's background resources (the coordinator's
+// worker health-probe loop). In-flight requests are unaffected.
+func (s *Server) Close() {
+	if s.dispatcher != nil {
+		s.dispatcher.Close()
+	}
 }
 
 // lazyTraces resolves trace refs through the server's lazily created trace
@@ -101,6 +157,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /traces/{hash}", s.handleTraceInfo)
 	mux.HandleFunc("GET /figures", s.handleFigureIndex)
 	mux.HandleFunc("GET /figures/{name}", s.handleFigure)
+	if s.opts.Worker {
+		mux.HandleFunc("POST /internal/jobs", s.requireAuth(s.handleInternalJob))
+	}
 	return mux
 }
 
@@ -157,7 +216,17 @@ func statusOf(c engine.Campaign) Status {
 	return st
 }
 
+// handleHealthz is the liveness probe. A coordinator additionally reports
+// its view of the worker fleet, so one curl shows which workers are in the
+// rotation.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.dispatcher != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"workers": s.dispatcher.WorkerStates(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

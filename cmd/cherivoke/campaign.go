@@ -23,7 +23,7 @@ import (
 //
 //	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]
 //	                [-worker] [-worker-urls url,url] [-workers-from file]
-//	                [-auth-token tok] [-worker-inflight N]
+//	                [-auth-token tok] [-worker-inflight N] [-pprof]
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -35,9 +35,10 @@ func serveCmd(args []string) error {
 	workersFrom := fs.String("workers-from", "", "coordinator mode: file of worker base URLs, one per line ('#' comments)")
 	authToken := fs.String("auth-token", "", "bearer token for the internal job API (workers require it, coordinators send it; empty = unauthenticated)")
 	workerInflight := fs.Int("worker-inflight", 0, "max jobs dispatched concurrently per worker (0 = 4)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (profiling endpoints reveal heap contents; off by default)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]")
-		fmt.Fprintln(os.Stderr, "                       [-worker] [-worker-urls url,url] [-workers-from file] [-auth-token tok] [-worker-inflight N]")
+		fmt.Fprintln(os.Stderr, "                       [-worker] [-worker-urls url,url] [-workers-from file] [-auth-token tok] [-worker-inflight N] [-pprof]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +56,7 @@ func serveCmd(args []string) error {
 		WorkerURLs:     urls,
 		AuthToken:      *authToken,
 		WorkerInFlight: *workerInflight,
+		Pprof:          *pprofFlag,
 	})
 	if err != nil {
 		return err
@@ -67,6 +69,10 @@ func serveCmd(args []string) error {
 	}
 	fmt.Printf("cherivoke campaign service listening on %s\n", *addr)
 	fmt.Printf("  POST /campaigns, GET /campaigns/{id}, GET /campaigns/{id}/results, GET /figures/{name}, POST /traces, GET /healthz\n")
+	fmt.Printf("  observability: GET /metrics (Prometheus text), GET /dashboard (live operations)\n")
+	if *pprofFlag {
+		fmt.Printf("  profiling: /debug/pprof enabled\n")
+	}
 	if *stateDir != "" {
 		fmt.Printf("  state persisted under %s\n", *stateDir)
 	}

@@ -8,7 +8,7 @@
 //	cherivoke trace info <file|->
 //	cherivoke replay <file>                            # replay a trace under both allocators
 //	cherivoke campaign [-workers N] [-statedir dir] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]
-//	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]
+//	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir] [-pprof]
 //
 // Output is textual: each figure prints the same rows/series the paper
 // plots. Everything is deterministic for a given seed: figure sweeps run as

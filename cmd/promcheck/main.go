@@ -1,0 +1,57 @@
+// Command promcheck validates Prometheus text-format exposition, as scraped
+// from /metrics. It is the CI smoke test's assertion tool: exit status 0
+// means every input parsed as well-formed exposition.
+//
+//	promcheck [-sum NAME] [file ...]
+//
+// With no files, stdin is read. With -sum NAME, the summed value of every
+// sample of the family NAME — across all label sets and all inputs — is
+// printed as an integer, so a shell test can assert fleet-wide totals:
+//
+//	curl -s $c/metrics $w1/metrics $w2/metrics | promcheck -sum cherivoke_jobs_executed_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	sum := flag.String("sum", "", "print the summed value of this metric family across all inputs")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: promcheck [-sum NAME] [file ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var samples []obs.Sample
+	readOne := func(name string, r io.Reader) {
+		s, err := obs.ParseText(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		samples = append(samples, s...)
+	}
+	if flag.NArg() == 0 {
+		readOne("stdin", os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(1)
+		}
+		readOne(path, f)
+		f.Close()
+	}
+	if *sum != "" {
+		fmt.Printf("%.0f\n", obs.Sum(samples, *sum))
+	} else {
+		fmt.Fprintf(os.Stderr, "promcheck: ok (%d samples)\n", len(samples))
+	}
+}

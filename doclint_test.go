@@ -18,6 +18,7 @@ import (
 var auditedPackages = []string{
 	"internal/campaign",
 	"internal/engine",
+	"internal/obs",
 	"internal/revoke",
 	"internal/server",
 	"internal/workload",

@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runtimeBuckets bound the normalised-execution-time histogram: the paper's
+// sweeps cluster just above 1.0, with worst cases a few multiples out.
+var runtimeBuckets = []float64{0.9, 1, 1.05, 1.1, 1.2, 1.35, 1.5, 1.75, 2, 3, 5}
+
+// poolMetrics holds the campaign pool's instruments. The zero value (every
+// field nil) is the disabled form: obs instruments no-op on nil receivers,
+// so an uninstrumented Run pays one pointer test per observation and
+// nothing else.
+type poolMetrics struct {
+	enabled bool
+
+	queue    *obs.Gauge
+	inflight *obs.Gauge
+
+	executed  *obs.Counter // jobs run in-process by this pool
+	completed map[string]*obs.Counter
+	wall      *obs.Histogram
+	runtime   *obs.Histogram
+}
+
+// newPoolMetrics materialises the pool's instruments against r (all no-ops
+// when r is nil).
+func newPoolMetrics(r *obs.Registry) poolMetrics {
+	if r == nil {
+		return poolMetrics{}
+	}
+	completed := r.CounterVec("cherivoke_pool_jobs_completed_total",
+		"Jobs completed by the campaign pool, by outcome (executed, cached, failed).", "outcome")
+	return poolMetrics{
+		enabled:  true,
+		queue:    r.Gauge("cherivoke_pool_queue_depth", "Expanded jobs waiting to be dispatched to a pool worker."),
+		inflight: r.Gauge("cherivoke_pool_inflight", "Jobs currently executing or being resolved by pool workers."),
+		executed: r.CounterVec(obs.MetricJobsExecuted,
+			"Jobs executed in this process, by execution path.", obs.MetricJobsExecutedLabel).With("pool"),
+		completed: map[string]*obs.Counter{
+			"executed": completed.With("executed"),
+			"cached":   completed.With("cached"),
+			"failed":   completed.With("failed"),
+		},
+		wall: r.Histogram("cherivoke_job_wall_seconds",
+			"Wall-clock duration of executed (non-cached) jobs, cache lookups excluded.", obs.DefBuckets),
+		runtime: r.Histogram("cherivoke_job_runtime",
+			"Normalised simulated execution time of successful jobs.", runtimeBuckets),
+	}
+}
+
+// jobStart stamps the wall clock for one execution, free when disabled.
+func (m *poolMetrics) jobStart() time.Time {
+	if !m.enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// jobDone records one completed job. start is the jobStart stamp for
+// executed jobs and the zero time for cache hits.
+func (m *poolMetrics) jobDone(jr JobResult, cached bool, start time.Time) {
+	if !m.enabled {
+		return
+	}
+	switch {
+	case cached:
+		m.completed["cached"].Inc()
+	case jr.Error != "":
+		m.completed["failed"].Inc()
+	default:
+		m.completed["executed"].Inc()
+	}
+	if !start.IsZero() {
+		m.wall.Observe(time.Since(start).Seconds())
+	}
+	if jr.Error == "" {
+		m.runtime.Observe(jr.PlusSweep)
+	}
+}

@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsObservationOnly is the instrumentation contract: a campaign run
+// with a metrics registry produces artifacts byte-identical to an
+// uninstrumented run, and the registry's counters agree with the summary.
+func TestMetricsObservationOnly(t *testing.T) {
+	spec := fig10Spec(4)
+	artifacts := func(r *obs.Registry) (j, c []byte) {
+		res, err := Run(context.Background(), spec, RunOptions{Workers: 4, Metrics: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jb, cb bytes.Buffer
+		if err := res.WriteJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		return jb.Bytes(), cb.Bytes()
+	}
+
+	plainJSON, plainCSV := artifacts(nil)
+	reg := obs.NewRegistry()
+	instJSON, instCSV := artifacts(reg)
+
+	if !bytes.Equal(plainJSON, instJSON) {
+		t.Error("JSON artifact differs between instrumented and uninstrumented runs")
+	}
+	if !bytes.Equal(plainCSV, instCSV) {
+		t.Error("CSV artifact differs between instrumented and uninstrumented runs")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("registry output does not parse: %v", err)
+	}
+	jobs, _ := spec.withDefaults().Jobs()
+	want := float64(len(jobs))
+	if got := obs.Sum(samples, obs.MetricJobsExecuted); got != want {
+		t.Errorf("%s = %v, want %v", obs.MetricJobsExecuted, got, want)
+	}
+	if got := obs.Sum(samples, "cherivoke_pool_jobs_completed_total"); got != want {
+		t.Errorf("pool completed = %v, want %v", got, want)
+	}
+	// Gauges settle to zero after the pool drains.
+	for _, name := range []string{"cherivoke_pool_queue_depth", "cherivoke_pool_inflight"} {
+		if got := obs.Sum(samples, name); got != 0 {
+			t.Errorf("%s = %v after completion, want 0", name, got)
+		}
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // RunOptions tunes how a campaign executes. They affect scheduling only;
@@ -44,6 +47,13 @@ type RunOptions struct {
 	// job failed (it is a transport-level failure; job-level failures
 	// travel inside JobResult.Error).
 	Runner JobRunner
+
+	// Metrics, when set, receives pool telemetry: queue depth, in-flight
+	// jobs, executed/cached/failed completion counters, and per-job
+	// wall-clock and simulated-runtime histograms (see
+	// docs/OBSERVABILITY.md for the catalog). Observation-only by
+	// contract — results are byte-identical with or without it.
+	Metrics *obs.Registry
 }
 
 // JobRunner executes one fully expanded job from a normalised spec. Nil in
@@ -147,6 +157,9 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 		workers = len(jobs)
 	}
 
+	pm := newPoolMetrics(opts.Metrics)
+	pm.queue.Add(float64(len(jobs)))
+
 	results := make([]JobResult, len(jobs))
 	jobCh := make(chan int)
 	var wg sync.WaitGroup
@@ -157,8 +170,11 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobCh {
+				pm.queue.Dec()
+				pm.inflight.Inc()
 				var jr JobResult
 				cached := false
+				var started time.Time
 				if opts.Cache != nil {
 					if hit, ok := opts.Cache.Lookup(spec, jobs[i]); ok {
 						// The key covers every field that shapes the
@@ -169,6 +185,7 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 					}
 				}
 				if !cached {
+					started = pm.jobStart()
 					if opts.Runner != nil {
 						var err error
 						jr, err = opts.Runner.RunJob(ctx, spec, jobs[i])
@@ -181,11 +198,14 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 						jr.Job = jobs[i]
 					} else {
 						jr = runJob(spec, jobs[i], opts.Traces)
+						pm.executed.Inc()
 					}
 					if opts.Cache != nil && jr.Error == "" {
 						opts.Cache.Store(spec, jobs[i], jr)
 					}
 				}
+				pm.jobDone(jr, cached, started)
+				pm.inflight.Dec()
 				results[i] = jr
 				mu.Lock()
 				done++
@@ -206,16 +226,20 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Result, error) {
 		}()
 	}
 
+	sent := 0
 dispatch:
 	for i := range jobs {
 		select {
 		case jobCh <- i:
+			sent++
 		case <-ctx.Done():
 			break dispatch
 		}
 	}
 	close(jobCh)
 	wg.Wait()
+	// Jobs never dispatched (cancellation) leave the queue gauge; drain it.
+	pm.queue.Add(-float64(len(jobs) - sent))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

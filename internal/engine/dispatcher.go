@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // DispatcherOptions tunes a Dispatcher. The zero value of every field is
@@ -35,6 +36,11 @@ type DispatcherOptions struct {
 	// Logf receives dispatch diagnostics (worker down, job reassigned,
 	// local fallback). Nil uses the standard logger.
 	Logf func(format string, args ...any)
+
+	// Metrics, when set, instruments the dispatcher: per-worker dispatch
+	// outcomes, in-flight gauges, markdowns, reassignments, local
+	// fallbacks, and health-probe results. Observation-only.
+	Metrics *obs.Registry
 }
 
 // Dispatcher shards jobs across a fleet of worker processes by JobKey
@@ -70,6 +76,7 @@ type Dispatcher struct {
 	localSlots chan struct{}
 	probe      time.Duration
 	logf       func(format string, args ...any)
+	m          dispatchMetrics
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -78,26 +85,46 @@ type Dispatcher struct {
 	stats DispatchStats
 }
 
-// DispatchStats counts where a dispatcher's jobs ran.
+// DispatchStats counts where a dispatcher's jobs ran and how its fleet has
+// behaved — the coordinator's /healthz and /metrics surface.
 type DispatchStats struct {
 	// Remote counts jobs executed by a worker.
-	Remote int
+	Remote int `json:"remote"`
 	// Reassigned counts jobs that succeeded on a worker other than
 	// their preferred one (a retry after a failure or a down mark).
-	Reassigned int
+	Reassigned int `json:"reassigned"`
 	// LocalFallback counts jobs executed locally because no worker
 	// could take them.
-	LocalFallback int
+	LocalFallback int `json:"local_fallback"`
+	// Rejected counts per-worker job refusals (ErrJobRejected) that
+	// rerouted a job while the worker stayed in the rotation.
+	Rejected int `json:"rejected"`
+	// Markdowns counts transitions of a worker from healthy to down.
+	Markdowns int `json:"markdowns"`
+	// Probes counts health re-probes of down workers.
+	Probes int `json:"probes"`
+	// Revived counts down workers that answered a probe and rejoined.
+	Revived int `json:"revived"`
 }
 
 // dispatchWorker is one worker's dispatch state: the transport, the
-// in-flight bound, and the health flag.
+// in-flight bound, the health flag, and its per-worker instruments.
 type dispatchWorker struct {
 	runner *RemoteRunner
 	slots  chan struct{}
 
-	mu   sync.Mutex
-	down bool
+	// Per-worker instruments, materialised once at construction (no-ops
+	// without a registry).
+	okJobs    *obs.Counter
+	errJobs   *obs.Counter
+	rejJobs   *obs.Counter
+	inflightG *obs.Gauge
+	markdownC *obs.Counter
+
+	mu         sync.Mutex
+	down       bool
+	dispatched int // jobs handed to this worker (any outcome)
+	markdowns  int // healthy→down transitions
 }
 
 func (w *dispatchWorker) isDown() bool {
@@ -111,6 +138,9 @@ func (w *dispatchWorker) setDown(down bool) (changed bool) {
 	defer w.mu.Unlock()
 	changed = w.down != down
 	w.down = down
+	if changed && down {
+		w.markdowns++
+	}
 	return changed
 }
 
@@ -140,12 +170,19 @@ func NewDispatcher(workers []*RemoteRunner, opts DispatcherOptions) *Dispatcher 
 		localSlots: make(chan struct{}, runtime.GOMAXPROCS(0)),
 		probe:      probe,
 		logf:       logf,
+		m:          newDispatchMetrics(opts.Metrics),
 		stop:       make(chan struct{}),
 	}
 	for _, r := range workers {
+		url := r.URL()
 		d.workers = append(d.workers, &dispatchWorker{
-			runner: r,
-			slots:  make(chan struct{}, inflight),
+			runner:    r,
+			slots:     make(chan struct{}, inflight),
+			okJobs:    d.m.jobs.With(url, "ok"),
+			errJobs:   d.m.jobs.With(url, "error"),
+			rejJobs:   d.m.jobs.With(url, "rejected"),
+			inflightG: d.m.inflight.With(url),
+			markdownC: d.m.markdowns.With(url),
 		})
 	}
 	if len(d.workers) > 0 {
@@ -178,16 +215,33 @@ func (d *Dispatcher) Stats() DispatchStats {
 
 // WorkerState is one worker's externally visible dispatch state.
 type WorkerState struct {
-	URL  string `json:"url"`
-	Down bool   `json:"down"`
+	// URL is the worker's base URL, as configured.
+	URL string `json:"url"`
+	// Down reports whether the worker is currently marked down.
+	Down bool `json:"down"`
+	// InFlight is the number of jobs dispatched to the worker and not yet
+	// answered, at snapshot time.
+	InFlight int `json:"in_flight"`
+	// Dispatched counts jobs handed to this worker so far, any outcome.
+	Dispatched int `json:"dispatched"`
+	// Markdowns counts this worker's healthy→down transitions.
+	Markdowns int `json:"markdowns"`
 }
 
-// WorkerStates reports each worker's URL and health, in configuration
-// order — the coordinator's health surface.
+// WorkerStates reports each worker's URL, health, load, and dispatch
+// history, in configuration order — the coordinator's health surface.
 func (d *Dispatcher) WorkerStates() []WorkerState {
 	out := make([]WorkerState, len(d.workers))
 	for i, w := range d.workers {
-		out[i] = WorkerState{URL: w.runner.URL(), Down: w.isDown()}
+		w.mu.Lock()
+		out[i] = WorkerState{
+			URL:        w.runner.URL(),
+			Down:       w.down,
+			InFlight:   len(w.slots),
+			Dispatched: w.dispatched,
+			Markdowns:  w.markdowns,
+		}
+		w.mu.Unlock()
 	}
 	return out
 }
@@ -215,7 +269,7 @@ func shardIndex(key string, n int) int {
 func (d *Dispatcher) RunJob(ctx context.Context, key string, spec campaign.Spec, job campaign.Job) (campaign.JobResult, error) {
 	n := len(d.workers)
 	if n == 0 {
-		return d.local.RunJob(ctx, key, spec, job)
+		return d.runLocal(ctx, key, spec, job)
 	}
 	start := shardIndex(key, n)
 	for off := 0; off < n; off++ {
@@ -230,15 +284,24 @@ func (d *Dispatcher) RunJob(ctx context.Context, key string, spec campaign.Spec,
 		case <-ctx.Done():
 			return campaign.JobResult{}, ctx.Err()
 		}
+		w.mu.Lock()
+		w.dispatched++
+		w.mu.Unlock()
+		w.inflightG.Inc()
 		jr, err := w.runner.RunJob(ctx, key, spec, job)
+		w.inflightG.Dec()
 		<-w.slots
 		if err == nil {
+			w.okJobs.Inc()
 			d.mu.Lock()
 			d.stats.Remote++
 			if off > 0 {
 				d.stats.Reassigned++
 			}
 			d.mu.Unlock()
+			if off > 0 {
+				d.m.reassigned.Inc()
+			}
 			return jr, nil
 		}
 		if ctx.Err() != nil {
@@ -247,23 +310,40 @@ func (d *Dispatcher) RunJob(ctx context.Context, key string, spec campaign.Spec,
 		if errors.Is(err, ErrJobRejected) {
 			// The worker is alive and said no to this job; keep it in
 			// the rotation and route the job onward.
+			w.rejJobs.Inc()
+			d.mu.Lock()
+			d.stats.Rejected++
+			d.mu.Unlock()
 			d.logf("engine: job %.12s rerouted: %v", key, err)
 			continue
 		}
+		w.errJobs.Inc()
 		if w.setDown(true) {
+			w.markdownC.Inc()
+			d.mu.Lock()
+			d.stats.Markdowns++
+			d.mu.Unlock()
 			d.logf("engine: worker %s marked down: %v", w.runner.URL(), err)
 		}
 	}
 	d.mu.Lock()
 	d.stats.LocalFallback++
 	d.mu.Unlock()
+	d.m.localFallback.Inc()
 	d.logf("engine: no worker available for job %.12s; executing locally", key)
+	return d.runLocal(ctx, key, spec, job)
+}
+
+// runLocal executes one job on the local runner under the local
+// concurrency bound, counting it as executed in this process.
+func (d *Dispatcher) runLocal(ctx context.Context, key string, spec campaign.Spec, job campaign.Job) (campaign.JobResult, error) {
 	select {
 	case d.localSlots <- struct{}{}:
 	case <-ctx.Done():
 		return campaign.JobResult{}, ctx.Err()
 	}
 	defer func() { <-d.localSlots }()
+	d.m.fallbackExec.Inc()
 	return d.local.RunJob(ctx, key, spec, job)
 }
 
@@ -287,10 +367,19 @@ func (d *Dispatcher) probeDown(ctx context.Context) {
 		if !w.isDown() {
 			continue
 		}
+		d.mu.Lock()
+		d.stats.Probes++
+		d.mu.Unlock()
 		if err := w.runner.Healthy(ctx); err == nil {
 			if w.setDown(false) {
+				d.m.probes.With("revived").Inc()
+				d.mu.Lock()
+				d.stats.Revived++
+				d.mu.Unlock()
 				d.logf("engine: worker %s healthy again", w.runner.URL())
 			}
+		} else {
+			d.m.probes.With("still_down").Inc()
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // States of a campaign's lifecycle, shared with the HTTP layer.
@@ -83,6 +84,13 @@ type Options struct {
 	// state directory (the CLI resolving against a server's job store)
 	// must not declare a live campaign interrupted.
 	SkipRecovery bool
+
+	// Metrics, when set, instruments the engine and everything it runs:
+	// submission/cache counters, store-operation latencies, and the
+	// campaign pool's own telemetry (the registry is threaded into every
+	// Run). Observation-only: a nil registry costs nothing and results
+	// never depend on it.
+	Metrics *obs.Registry
 }
 
 // Engine executes campaigns against a Store: submissions are persisted,
@@ -90,8 +98,9 @@ type Options struct {
 // artifacts are persisted, and the whole registry is rebuilt from the store
 // on construction — state survives a restart.
 type Engine struct {
-	store Store
-	opts  Options
+	store   Store
+	opts    Options
+	metrics engineMetrics
 
 	mu   sync.Mutex
 	seq  int
@@ -124,11 +133,12 @@ type Event struct {
 // jobs' results are not — they were stored as each job finished and will
 // serve a resubmission without a single re-execution.
 func New(store Store, opts Options) (*Engine, error) {
+	store = instrumentStore(store, opts.Metrics)
 	recs, err := store.Campaigns()
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{store: store, opts: opts, runs: make(map[string]*run, len(recs))}
+	e := &Engine{store: store, opts: opts, metrics: newEngineMetrics(opts.Metrics), runs: make(map[string]*run, len(recs))}
 	// Resume the ID sequence past every record the store has evidence of
 	// — a corrupted (hence unlisted) record still fences off its ID, so
 	// its orphaned result artifact can never be served for a new
@@ -219,6 +229,8 @@ func (e *Engine) Submit(spec campaign.Spec, workers int) (Campaign, error) {
 	e.mu.Lock()
 	e.runs[rec.ID] = r
 	e.mu.Unlock()
+	e.metrics.submits.Inc()
+	e.metrics.active.Inc()
 	go e.execute(ctx, r)
 	return rec, nil
 }
@@ -231,15 +243,25 @@ func (e *Engine) Submit(spec campaign.Spec, workers int) (Campaign, error) {
 func (e *Engine) execute(ctx context.Context, r *run) {
 	r.mu.Lock()
 	id, spec, workers, traceHash := r.rec.ID, r.rec.Spec, r.rec.Workers, r.rec.TraceHash
+	jobs := r.rec.JobsTotal
 	r.mu.Unlock()
+
+	// The campaign ID rides the context so every log record below the
+	// engine — pool, dispatcher, store — can be correlated to it.
+	ctx = obs.WithCampaignID(ctx, id)
+	lg := obs.ContextLogger(ctx, obs.Logger("engine"))
+	start := time.Now()
+	lg.Info("campaign started", "name", spec.Name, "jobs", jobs, "workers", workers)
 
 	res, err := campaign.Run(ctx, spec, campaign.RunOptions{
 		Workers:    workers,
 		Traces:     e.opts.Traces,
-		Cache:      &storeCache{store: e.store, traceHash: traceHash},
+		Cache:      e.cache(traceHash),
 		Runner:     e.jobRunner(traceHash),
 		OnProgress: r.onProgress,
+		Metrics:    e.opts.Metrics,
 	})
+	e.metrics.active.Dec()
 	if err == nil && res != nil {
 		if perr := e.store.PutResult(id, res); perr != nil {
 			res, err = nil, perr
@@ -268,6 +290,13 @@ func (e *Engine) execute(ctx context.Context, r *run) {
 	r.subs = nil
 	r.closed = true
 	r.mu.Unlock()
+	lg.Info("campaign finished",
+		"state", rec.State,
+		"jobs_done", rec.JobsDone,
+		"jobs_failed", rec.JobsFailed,
+		"cache_hits", rec.CacheHits,
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+	)
 	// Best effort: if the terminal write fails, New re-finalises the
 	// still-running record from the stored Result on next open.
 	_ = e.store.PutCampaign(rec)
@@ -390,7 +419,12 @@ func (e *Engine) jobRunner(traceHash string) campaign.JobRunner {
 	if e.opts.Runner == nil {
 		return nil
 	}
-	return &jobDispatch{runner: e.opts.Runner, traceHash: traceHash}
+	return &jobDispatch{runner: e.opts.Runner, traceHash: traceHash, m: &e.metrics}
+}
+
+// cache builds the one-campaign JobCache view of the store.
+func (e *Engine) cache(traceHash string) campaign.JobCache {
+	return &storeCache{store: e.store, traceHash: traceHash, m: &e.metrics}
 }
 
 // jobDispatch is the campaign.JobRunner view of an engine Runner: it
@@ -398,10 +432,12 @@ func (e *Engine) jobRunner(traceHash string) campaign.JobRunner {
 type jobDispatch struct {
 	runner    Runner
 	traceHash string
+	m         *engineMetrics
 }
 
 // RunJob implements campaign.JobRunner.
 func (d *jobDispatch) RunJob(ctx context.Context, spec campaign.Spec, job campaign.Job) (campaign.JobResult, error) {
+	d.m.jobKeys.Inc()
 	return d.runner.RunJob(ctx, JobKey(spec, job, d.traceHash), spec, job)
 }
 
@@ -410,20 +446,25 @@ func (d *jobDispatch) RunJob(ctx context.Context, spec campaign.Spec, job campai
 type storeCache struct {
 	store     Store
 	traceHash string
+	m         *engineMetrics
 }
 
 // Lookup implements campaign.JobCache.
 func (c *storeCache) Lookup(spec campaign.Spec, job campaign.Job) (campaign.JobResult, bool) {
+	c.m.jobKeys.Inc()
 	jr, err := c.store.Job(JobKey(spec, job, c.traceHash))
 	if err != nil {
+		c.m.cacheMisses.Inc()
 		return campaign.JobResult{}, false
 	}
+	c.m.cacheHits.Inc()
 	return jr, true
 }
 
 // Store implements campaign.JobCache. A failed put only costs a future
 // recomputation, so it is not allowed to fail the job that just succeeded.
 func (c *storeCache) Store(spec campaign.Spec, job campaign.Job, jr campaign.JobResult) {
+	c.m.jobKeys.Inc()
 	_ = c.store.PutJob(JobKey(spec, job, c.traceHash), jr)
 }
 
@@ -475,8 +516,9 @@ func (e *Engine) Resolve(ctx context.Context, spec campaign.Spec, opts ResolveOp
 	res, err := campaign.Run(ctx, spec, campaign.RunOptions{
 		Workers: workers,
 		Traces:  traces,
-		Cache:   &storeCache{store: e.store, traceHash: traceHash},
+		Cache:   e.cache(traceHash),
 		Runner:  e.jobRunner(traceHash),
+		Metrics: e.opts.Metrics,
 		OnProgress: func(p campaign.Progress) {
 			if p.Cached {
 				stats.CacheHits++

@@ -1,0 +1,36 @@
+// Package obs is the reproduction's observability substrate: a
+// dependency-free metrics registry that serializes to the Prometheus text
+// exposition format with deterministic ordering, a matching parser (used by
+// cmd/promcheck and the CI smokes to validate scrapes), and slog-based
+// structured-logging helpers with request/campaign/job correlation IDs.
+//
+// The registry is get-or-create: asking for a family that already exists
+// returns the existing one, so independent layers (campaign pool, engine,
+// dispatcher, HTTP server) can each materialise the instruments they need
+// without coordinating construction order. Every instrument method is safe
+// on a nil receiver and every Registry getter is safe on a nil *Registry —
+// a disabled registry therefore costs one nil check per observation, which
+// is what lets instrumentation stay compiled into the hot paths
+// unconditionally.
+//
+// Instrumentation through this package is observation-only by contract:
+// nothing recorded here may influence results. The campaign byte-identity
+// tests run with and without a registry attached and diff the artifacts.
+package obs
+
+// Names and semantics of the metric families that more than one package
+// feeds. Each constant is the family name; the registering sites must agree
+// on kind and label names (the registry enforces that), while the first
+// registration's help string wins.
+const (
+	// MetricJobsExecuted counts simulation jobs actually executed in
+	// this process, labelled by execution path: "pool" (in-process
+	// campaign pool), "internal" (a worker serving POST /internal/jobs),
+	// or "fallback" (a coordinator running a job locally because no
+	// worker could). Summed across a fleet — and across the label — it
+	// equals the number of jobs computed exactly once fleet-wide.
+	MetricJobsExecuted = "cherivoke_jobs_executed_total"
+
+	// MetricJobsExecutedLabel is MetricJobsExecuted's single label name.
+	MetricJobsExecutedLabel = "via"
+)

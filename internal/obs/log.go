@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// defaultLogger is the process-wide structured logger. It defaults to a
+// text slog handler on stderr; SetLogger replaces it (tests silence it,
+// deployments may swap in JSON output).
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	defaultLogger.Store(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
+
+// SetLogger replaces the process-wide structured logger used by Logger.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		defaultLogger.Store(l)
+	}
+}
+
+// Logger returns the process-wide structured logger scoped to one component
+// ("server", "engine", "dispatcher", ...) — every record it emits carries a
+// component attribute.
+func Logger(component string) *slog.Logger {
+	return defaultLogger.Load().With(slog.String("component", component))
+}
+
+// NewID returns a fresh 16-hex-digit correlation ID (crypto-random, with a
+// counter fallback if the system's randomness source fails).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := fallbackID.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackID atomic.Uint64
+
+// ctxKey keys the correlation IDs stored in a context.
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota
+	ctxCampaignID
+)
+
+// WithRequestID returns ctx carrying an HTTP request's correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestID returns the request correlation ID carried by ctx ("" if none).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// WithCampaignID returns ctx carrying a campaign's ID.
+func WithCampaignID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxCampaignID, id)
+}
+
+// CampaignID returns the campaign ID carried by ctx ("" if none).
+func CampaignID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxCampaignID).(string)
+	return id
+}
+
+// ContextLogger returns base (or the process logger when base is nil) with
+// whatever correlation IDs ctx carries attached as attributes — the one
+// call sites make before logging inside a request or campaign scope.
+func ContextLogger(ctx context.Context, base *slog.Logger) *slog.Logger {
+	if base == nil {
+		base = defaultLogger.Load()
+	}
+	if id := RequestID(ctx); id != "" {
+		base = base.With(slog.String("request_id", id))
+	}
+	if id := CampaignID(ctx); id != "" {
+		base = base.With(slog.String("campaign_id", id))
+	}
+	return base
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition-format sample line.
+type Sample struct {
+	// Name is the sample's metric name (histogram samples keep their
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels holds the sample's label pairs (nil when unlabelled).
+	Labels map[string]string
+	// Value is the sample's value.
+	Value float64
+}
+
+// ParseText parses (and thereby validates) Prometheus text exposition
+// format: HELP/TYPE comment syntax, metric and label name grammar, label
+// quoting, and value syntax. It returns every sample in input order. It is
+// the checker behind cmd/promcheck and the CI scrape smokes; it accepts
+// exactly what WritePrometheus emits plus the format's optional extras
+// (timestamps, free comments, summary/untyped types).
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var samples []Sample
+	typed := map[string]string{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, typed); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// parseComment validates a # line: HELP and TYPE comments must be
+// well-formed; anything else after # is a free comment.
+func parseComment(line string, typed map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case KindCounter, KindGauge, KindHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if prev, ok := typed[fields[2]]; ok {
+			return fmt.Errorf("duplicate TYPE for %s (already %s)", fields[2], prev)
+		}
+		typed[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// parseSample parses one `name{labels} value [timestamp]` line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !metricNameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		if s.Labels, rest, err = parseLabels(rest); err != nil {
+			return s, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("malformed timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block, returning the pairs and
+// the unconsumed tail.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	rest := in[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block in %q", in)
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed label block in %q", in)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !labelNameRE.MatchString(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value is not quoted", name)
+		}
+		val, tail, err := unquoteLabel(rest)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", name, err)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		rest = strings.TrimLeft(tail, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
+}
+
+// unquoteLabel consumes a leading quoted label value with \\, \", and \n
+// escapes, returning the value and the unconsumed tail.
+func unquoteLabel(in string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", "", fmt.Errorf("dangling escape in %q", in)
+			}
+			switch in[i] {
+			case '\\', '"':
+				b.WriteByte(in[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		case '"':
+			return b.String(), in[i+1:], nil
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value in %q", in)
+}
+
+// parseValue parses a sample value, accepting the +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed value %q", s)
+	}
+	return v, nil
+}
+
+// Sum adds up every sample named exactly name (across all label tuples) —
+// the fleet-aggregation helper the CI smokes use to check that job counters
+// scraped from N processes sum to the campaign's job count.
+func Sum(samples []Sample, name string) float64 {
+	total := 0.0
+	for _, s := range samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}

@@ -69,5 +69,6 @@ func (s *Server) handleInternalJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jr := campaign.ExecuteJob(req.Spec, req.Job, traces)
+	s.metrics.internal.Inc()
 	writeJSON(w, http.StatusOK, engine.JobResponse{Key: req.Key, Result: jr})
 }

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// latencyBuckets bound the HTTP request-duration histogram: sub-millisecond
+// JSON handlers through multi-second streamed result downloads.
+var latencyBuckets = obs.ExpBuckets(0.0005, 4, 8)
+
+// serverMetrics holds the HTTP layer's instruments; the zero value is the
+// disabled form (obs instruments no-op on nil receivers).
+type serverMetrics struct {
+	requests *obs.CounterVec   // labels: route, method, class
+	latency  *obs.HistogramVec // label: route
+	sse      *obs.Gauge
+	traceRx  *obs.Counter
+	internal *obs.Counter // jobs executed via POST /internal/jobs
+}
+
+// newServerMetrics materialises the HTTP instruments against r (all no-ops
+// when r is nil).
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	if r == nil {
+		return serverMetrics{}
+	}
+	return serverMetrics{
+		requests: r.CounterVec("cherivoke_http_requests_total",
+			"HTTP requests served, by route pattern, method, and status class.",
+			"route", "method", "class"),
+		latency: r.HistogramVec("cherivoke_http_request_seconds",
+			"HTTP request duration from first byte read to handler return.",
+			latencyBuckets, "route"),
+		sse: r.Gauge("cherivoke_sse_subscribers",
+			"Server-sent-event streams currently open on /campaigns/{id}/events."),
+		traceRx: r.Counter("cherivoke_trace_upload_bytes_total",
+			"Trace bytes received on POST /traces (as read from request bodies)."),
+		internal: r.CounterVec(obs.MetricJobsExecuted,
+			"Jobs executed in this process, by execution path.",
+			obs.MetricJobsExecutedLabel).With("internal"),
+	}
+}
+
+// countingReader counts bytes as they are read, feeding a counter. It is the
+// trace-upload byte meter: the store streams the body through it, so the
+// count reflects bytes actually consumed, including partially read rejects.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+// Read implements io.Reader.
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -52,6 +54,10 @@ type Options struct {
 	// HealthInterval is the re-probe period for workers marked down
 	// (0 = 3s).
 	HealthInterval time.Duration
+
+	// Pprof mounts net/http/pprof under /debug/pprof. Off by default:
+	// profiling endpoints expose heap contents and must be opted into.
+	Pprof bool
 }
 
 // Server is a thin HTTP adapter over engine.Engine: it decodes requests,
@@ -63,6 +69,8 @@ type Server struct {
 	traces     traceStoreState
 	engine     *engine.Engine
 	dispatcher *engine.Dispatcher // nil unless Options.WorkerURLs configured
+	reg        *obs.Registry
+	metrics    serverMetrics
 }
 
 // States of a campaign's lifecycle (the engine's, re-exported for the HTTP
@@ -80,7 +88,8 @@ const (
 // served, and resubmitted specs are answered from the job-result store
 // without re-executing anything.
 func New(opts Options) (*Server, error) {
-	s := &Server{opts: opts}
+	s := &Server{opts: opts, reg: obs.NewRegistry()}
+	s.metrics = newServerMetrics(s.reg)
 	var store engine.Store
 	if opts.StateDir != "" {
 		ds, err := engine.OpenDirStore(opts.StateDir, nil)
@@ -91,16 +100,21 @@ func New(opts Options) (*Server, error) {
 	} else {
 		store = engine.NewMemStore()
 	}
-	engOpts := engine.Options{Workers: opts.Workers, Traces: lazyTraces{s}}
+	engOpts := engine.Options{Workers: opts.Workers, Traces: lazyTraces{s}, Metrics: s.reg}
 	if len(opts.WorkerURLs) > 0 {
 		remotes := make([]*engine.RemoteRunner, len(opts.WorkerURLs))
 		for i, url := range opts.WorkerURLs {
 			remotes[i] = engine.NewRemoteRunner(url, opts.AuthToken)
 		}
+		dlog := obs.Logger("dispatch")
 		s.dispatcher = engine.NewDispatcher(remotes, engine.DispatcherOptions{
 			Local:         &engine.LocalRunner{Traces: lazyTraces{s}},
 			InFlight:      opts.WorkerInFlight,
 			ProbeInterval: opts.HealthInterval,
+			Metrics:       s.reg,
+			Logf: func(format string, args ...any) {
+				dlog.Info(fmt.Sprintf(format, args...))
+			},
 		})
 		engOpts.Runner = s.dispatcher
 		if engOpts.Workers == 0 {
@@ -142,10 +156,21 @@ func (l lazyTraces) OpenTrace(ref string) (workload.TraceReader, string, error) 
 	return store.OpenTrace(ref)
 }
 
-// Handler returns the server's route table.
+// Metrics returns the server's metrics registry — the one every layer
+// (engine, dispatcher, campaign pool, HTTP) records into. Tests and
+// embedders can register their own instruments on it.
+func (s *Server) Metrics() *obs.Registry {
+	return s.reg
+}
+
+// Handler returns the server's route table, wrapped in the observability
+// middleware (request IDs, per-route metrics, structured request logs).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /dashboard/{file...}", s.handleDashboard)
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
@@ -160,7 +185,14 @@ func (s *Server) Handler() http.Handler {
 	if s.opts.Worker {
 		mux.HandleFunc("POST /internal/jobs", s.requireAuth(s.handleInternalJob))
 	}
-	return mux
+	if s.opts.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.observe(mux)
 }
 
 // SubmitRequest is the POST /campaigns body.
@@ -217,13 +249,15 @@ func statusOf(c engine.Campaign) Status {
 }
 
 // handleHealthz is the liveness probe. A coordinator additionally reports
-// its view of the worker fleet, so one curl shows which workers are in the
-// rotation.
+// its view of the worker fleet — per-worker state plus the full dispatch
+// counters (reassignments, local fallbacks, markdowns, probe results) — so
+// one curl shows how the fleet has behaved, not just who is up.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.dispatcher != nil {
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":  "ok",
-			"workers": s.dispatcher.WorkerStates(),
+			"status":   "ok",
+			"workers":  s.dispatcher.WorkerStates(),
+			"dispatch": s.dispatcher.Stats(),
 		})
 		return
 	}
@@ -341,6 +375,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	s.metrics.sse.Inc()
+	defer s.metrics.sse.Dec()
 
 	// Subscribe before the initial snapshot so a completion landing in
 	// between is still delivered (as the closing broadcast).

@@ -48,7 +48,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	info, err := store.Put(r.Body)
+	info, err := store.Put(&countingReader{r: r.Body, c: s.metrics.traceRx})
 	if err != nil {
 		// Only a rejected trace is the client's fault; spool/filing
 		// failures (disk full, unwritable dir) are ours.

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"embed"
+	"net/http"
+)
+
+// wwwFS embeds the dashboard's static site. It is built with no framework
+// and no external assets, so the binary serves it offline; see
+// docs/OBSERVABILITY.md for the walkthrough.
+//
+//go:embed www
+var wwwFS embed.FS
+
+// handleDashboard serves the embedded live-operations dashboard at
+// GET /dashboard (and its assets under /dashboard/). The page is static —
+// all live data comes from the public API (/campaigns, /healthz, /metrics,
+// and the per-campaign SSE stream), so the dashboard works identically on
+// coordinators, workers, and single-node servers.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	file := r.PathValue("file")
+	if file == "" {
+		file = "index.html"
+	}
+	data, err := wwwFS.ReadFile("www/" + file)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no such dashboard asset")
+		return
+	}
+	switch {
+	case file == "index.html" || len(file) > 5 && file[len(file)-5:] == ".html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	case len(file) > 3 && file[len(file)-3:] == ".js":
+		w.Header().Set("Content-Type", "text/javascript; charset=utf-8")
+	case len(file) > 4 && file[len(file)-4:] == ".css":
+		w.Header().Set("Content-Type", "text/css; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	_, _ = w.Write(data)
+}

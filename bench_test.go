@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/cap"
@@ -421,6 +422,72 @@ func BenchmarkTraceRecordReplay(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(n), "events/op")
+	}
+}
+
+// loopStream serves a binary trace header once, then cycles a fixed body of
+// pre-encoded event records forever, never emitting the end record. It lets
+// BenchmarkBinaryTraceDecode construct one reader outside the timer and
+// count single Next calls, so allocs/op is exactly the per-record decode
+// cost.
+type loopStream struct {
+	header []byte
+	body   []byte
+	pos    int
+}
+
+func (l *loopStream) Read(p []byte) (int, error) {
+	if len(l.header) > 0 {
+		n := copy(p, l.header)
+		l.header = l.header[n:]
+		return n, nil
+	}
+	if l.pos == len(l.body) {
+		l.pos = 0
+	}
+	n := copy(p, l.body[l.pos:])
+	l.pos += n
+	return n, nil
+}
+
+// BenchmarkBinaryTraceDecode measures the CVTR binary decode hot loop in
+// isolation. The regression baseline pins allocs/op at zero: the reader owns
+// a reusable payload buffer, so Next never touches the heap per record.
+func BenchmarkBinaryTraceDecode(b *testing.B) {
+	header := []byte(workload.TraceMagic)
+	header = binary.AppendUvarint(header, uint64(workload.TraceVersion))
+	header = binary.AppendUvarint(header, workload.DefaultSeed)
+	header = binary.AppendUvarint(header, 0) // empty name
+	var body []byte
+	for i := 0; i < 64; i++ {
+		var payload []byte
+		var op byte
+		switch i % 3 {
+		case 0:
+			op = workload.EvMalloc
+			payload = binary.AppendUvarint(payload, uint64(1024+i))
+		case 1:
+			op = workload.EvPlant
+			payload = binary.AppendUvarint(payload, uint64(i))
+			payload = binary.AppendUvarint(payload, uint64(i*16))
+		default:
+			op = workload.EvFree
+			payload = binary.AppendUvarint(payload, uint64(i))
+		}
+		body = append(body, op)
+		body = binary.AppendUvarint(body, uint64(len(payload)))
+		body = append(body, payload...)
+	}
+	r, err := workload.NewBinaryTraceReader(&loopStream{header: header, body: body})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Next(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

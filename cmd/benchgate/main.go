@@ -1,0 +1,280 @@
+// Command benchgate is the benchmark regression ratchet: it compares a
+// fresh `go test -bench` run against a committed baseline (BENCH_*.json,
+// emitted by cmd/benchjson) and exits non-zero when a benchmark regressed
+// significantly in ns/op or allocs/op. CI pipes every bench run through it,
+// so a hot-path regression fails the build instead of drifting in silently.
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x . | benchgate -baseline BENCH_pr7.json
+//
+// Significance is benchstat-style in spirit but adapted to single-sample CI
+// runs: repeated samples of one benchmark are summarised by geometric mean,
+// and a timing regression must clear both a relative threshold (-threshold,
+// default +40%) and an absolute floor (-min-ns, default 100µs) before it
+// fails the gate — sub-threshold jitter and micro-benchmarks whose whole
+// runtime is scheduler noise never flap the build. Allocation counts are
+// nearly deterministic, so their gate is much tighter (-alloc-threshold,
+// default +10%, plus half an allocation of slack — which also pins
+// zero-alloc benchmarks at zero). A benchmark present in the baseline but
+// absent from the run fails the gate: a silently vanished benchmark is how
+// a regression hides.
+//
+// To intentionally move the baseline (new benchmark set, accepted perf
+// change), run with -refresh: the gate rewrites the baseline file from the
+// fresh run instead of comparing. Committing that file is the explicit,
+// reviewable act of re-anchoring the ratchet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/benchfmt"
+)
+
+// Options tunes the gate's significance tests.
+type Options struct {
+	// NsThreshold is the relative ns/op increase that fails the gate.
+	NsThreshold float64
+	// MinNsDelta is the absolute ns/op increase a timing regression must
+	// also exceed; micro-benchmark jitter lives below it.
+	MinNsDelta float64
+	// AllocThreshold is the relative allocs/op increase that fails.
+	AllocThreshold float64
+	// AllocSlack is the absolute allocs/op slack added on top: with the
+	// default 0.5, a 0-alloc baseline fails on the first real allocation.
+	AllocSlack float64
+	// AllowMissing downgrades baseline benchmarks absent from the fresh
+	// run from failures to warnings.
+	AllowMissing bool
+}
+
+// DefaultOptions returns the CI defaults documented in docs/BENCHMARKS.md.
+func DefaultOptions() Options {
+	return Options{
+		NsThreshold:    0.40,
+		MinNsDelta:     100_000,
+		AllocThreshold: 0.10,
+		AllocSlack:     0.5,
+	}
+}
+
+// Verdicts of one baseline-vs-run comparison.
+const (
+	VerdictOK              = "ok"
+	VerdictImproved        = "improved"
+	VerdictNsRegressed     = "REGRESSED(ns/op)"
+	VerdictAllocsRegressed = "REGRESSED(allocs/op)"
+	VerdictMissing         = "MISSING"
+	VerdictNew             = "new"
+)
+
+// Delta is one benchmark's comparison outcome.
+type Delta struct {
+	Key       string
+	OldNs     float64
+	NewNs     float64
+	OldAllocs float64
+	NewAllocs float64
+	Verdict   string
+	// Fail marks the verdicts that should fail the gate under the
+	// options used.
+	Fail bool
+}
+
+// NsRatio returns new/old ns-per-op (0 when the baseline had none).
+func (d Delta) NsRatio() float64 {
+	if d.OldNs <= 0 {
+		return 0
+	}
+	return d.NewNs / d.OldNs
+}
+
+// summarise folds repeated samples of each benchmark into one entry per
+// key, geomean over the samples, preserving first-seen order.
+func summarise(in []benchfmt.Benchmark) (keys []string, byKey map[string]benchfmt.Benchmark) {
+	byKey = make(map[string]benchfmt.Benchmark)
+	samples := make(map[string][]benchfmt.Benchmark)
+	for _, b := range in {
+		k := b.Key()
+		if _, seen := samples[k]; !seen {
+			keys = append(keys, k)
+		}
+		samples[k] = append(samples[k], b)
+	}
+	for k, ss := range samples {
+		agg := ss[0]
+		if len(ss) > 1 {
+			var ns, allocs []float64
+			for _, s := range ss {
+				if s.HasNs {
+					ns = append(ns, s.NsPerOp)
+				}
+				if s.HasAllocs {
+					allocs = append(allocs, s.AllocsPerOp)
+				}
+			}
+			if len(ns) > 0 {
+				agg.NsPerOp, agg.HasNs = benchfmt.Geomean(ns), true
+			}
+			if len(allocs) > 0 {
+				agg.AllocsPerOp, agg.HasAllocs = benchfmt.Geomean(allocs), true
+			}
+		}
+		byKey[k] = agg
+	}
+	return keys, byKey
+}
+
+// Compare gates a fresh run against a baseline. It returns one Delta per
+// baseline benchmark (baseline order) plus a trailing "new" entry per
+// benchmark only the fresh run has, and the number of gate failures.
+func Compare(base, fresh []benchfmt.Benchmark, opts Options) (deltas []Delta, failures int) {
+	baseKeys, baseBy := summarise(base)
+	freshKeys, freshBy := summarise(fresh)
+
+	for _, k := range baseKeys {
+		old := baseBy[k]
+		now, ok := freshBy[k]
+		if !ok {
+			d := Delta{Key: k, OldNs: old.NsPerOp, OldAllocs: old.AllocsPerOp,
+				Verdict: VerdictMissing, Fail: !opts.AllowMissing}
+			if d.Fail {
+				failures++
+			}
+			deltas = append(deltas, d)
+			continue
+		}
+		d := Delta{Key: k,
+			OldNs: old.NsPerOp, NewNs: now.NsPerOp,
+			OldAllocs: old.AllocsPerOp, NewAllocs: now.AllocsPerOp,
+			Verdict: VerdictOK,
+		}
+		switch {
+		case old.HasAllocs && now.HasAllocs &&
+			now.AllocsPerOp > old.AllocsPerOp*(1+opts.AllocThreshold)+opts.AllocSlack:
+			d.Verdict, d.Fail = VerdictAllocsRegressed, true
+		case old.HasNs && now.HasNs &&
+			now.NsPerOp > old.NsPerOp*(1+opts.NsThreshold) &&
+			now.NsPerOp-old.NsPerOp >= opts.MinNsDelta:
+			d.Verdict, d.Fail = VerdictNsRegressed, true
+		case old.HasNs && now.HasNs && old.NsPerOp > 0 &&
+			now.NsPerOp < old.NsPerOp/(1+opts.NsThreshold):
+			d.Verdict = VerdictImproved
+		}
+		if d.Fail {
+			failures++
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Strings(freshKeys)
+	for _, k := range freshKeys {
+		if _, ok := baseBy[k]; !ok {
+			now := freshBy[k]
+			deltas = append(deltas, Delta{Key: k, NewNs: now.NsPerOp,
+				NewAllocs: now.AllocsPerOp, Verdict: VerdictNew})
+		}
+	}
+	return deltas, failures
+}
+
+// Report writes the delta table.
+func Report(w io.Writer, deltas []Delta) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tratio\told allocs\tnew allocs\tverdict")
+	for _, d := range deltas {
+		ratio := "-"
+		if r := d.NsRatio(); r > 0 {
+			ratio = fmt.Sprintf("%.2fx", r)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\n",
+			d.Key, d.OldNs, d.NewNs, ratio, d.OldAllocs, d.NewAllocs, d.Verdict)
+	}
+	tw.Flush()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against (required)")
+	threshold := flag.Float64("threshold", 0.40, "relative ns/op regression that fails the gate")
+	minNs := flag.Float64("min-ns", 100_000, "absolute ns/op increase a timing regression must also exceed")
+	allocThreshold := flag.Float64("alloc-threshold", 0.10, "relative allocs/op regression that fails the gate")
+	allocSlack := flag.Float64("alloc-slack", 0.5, "absolute allocs/op slack on top of the threshold")
+	allowMissing := flag.Bool("allow-missing", false, "warn instead of fail when a baseline benchmark is absent from the run")
+	refresh := flag.Bool("refresh", false, "rewrite the baseline from this run instead of gating (the explicit re-anchor)")
+	tag := flag.String("tag", "", "label recorded when refreshing the baseline")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: go test -bench . -benchmem | benchgate -baseline BENCH.json [flags] [bench.txt]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *baselinePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	fresh, raw, err := benchfmt.Parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading run: %v\n", err)
+		os.Exit(2)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	if *refresh {
+		out := benchfmt.Baseline{Tag: *tag, Goos: runtime.GOOS, Goarch: runtime.GOARCH,
+			Benchmarks: fresh, Raw: raw}
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := out.Write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: closing %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s refreshed (%d benchmarks)\n", *baselinePath, len(fresh))
+		return
+	}
+
+	base, err := benchfmt.ReadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	opts := Options{
+		NsThreshold:    *threshold,
+		MinNsDelta:     *minNs,
+		AllocThreshold: *allocThreshold,
+		AllocSlack:     *allocSlack,
+		AllowMissing:   *allowMissing,
+	}
+	deltas, failures := Compare(base.Benchmarks, fresh, opts)
+	Report(os.Stdout, deltas)
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d significant regression(s) against %s (tag %q); if intended, re-anchor with -refresh\n",
+			failures, *baselinePath, base.Tag)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: ok — %d benchmarks within thresholds of %s (tag %q)\n",
+		len(deltas), *baselinePath, base.Tag)
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func mustParse(t *testing.T, text string) []benchfmt.Benchmark {
+	t.Helper()
+	benchmarks, _, err := benchfmt.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return benchmarks
+}
+
+func verdictOf(t *testing.T, deltas []Delta, key string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Key == key {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %q in %+v", key, deltas)
+	return Delta{}
+}
+
+// TestSeededRegressionFails is the gate's reason to exist: a +50% ns/op
+// regression on a benchmark above the noise floor fails, while noise-level
+// jitter on every other benchmark passes.
+func TestSeededRegressionFails(t *testing.T) {
+	base := mustParse(t, `
+BenchmarkSweep 1 10000000 ns/op 512 B/op 7 allocs/op
+BenchmarkReplay 1 20000000 ns/op 1024 B/op 9 allocs/op
+`)
+	fresh := mustParse(t, `
+BenchmarkSweep 1 15000000 ns/op 512 B/op 7 allocs/op
+BenchmarkReplay 1 21000000 ns/op 1024 B/op 9 allocs/op
+`)
+	deltas, failures := Compare(base, fresh, DefaultOptions())
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1: %+v", failures, deltas)
+	}
+	if d := verdictOf(t, deltas, "BenchmarkSweep"); d.Verdict != VerdictNsRegressed || !d.Fail {
+		t.Errorf("seeded +50%% regression verdict = %+v", d)
+	}
+	if d := verdictOf(t, deltas, "BenchmarkReplay"); d.Verdict != VerdictOK || d.Fail {
+		t.Errorf("+5%% jitter verdict = %+v", d)
+	}
+}
+
+// TestJitterPasses: ±10% timing noise on both sides of the baseline never
+// trips the gate.
+func TestJitterPasses(t *testing.T) {
+	base := mustParse(t, `
+BenchmarkA 1 10000000 ns/op
+BenchmarkB 1 50000000 ns/op
+`)
+	fresh := mustParse(t, `
+BenchmarkA 1 11000000 ns/op
+BenchmarkB 1 45000000 ns/op
+`)
+	if deltas, failures := Compare(base, fresh, DefaultOptions()); failures != 0 {
+		t.Errorf("jitter failed the gate: %+v", deltas)
+	}
+}
+
+// TestNoiseFloor: micro-benchmarks whose entire runtime sits under the
+// absolute floor can blow past the relative threshold without failing —
+// single-sample scheduler noise at that scale is not signal.
+func TestNoiseFloor(t *testing.T) {
+	base := mustParse(t, "BenchmarkTiny 1 3906 ns/op")
+	fresh := mustParse(t, "BenchmarkTiny 1 90000 ns/op") // 23x, but +86µs
+	if deltas, failures := Compare(base, fresh, DefaultOptions()); failures != 0 {
+		t.Errorf("sub-floor delta failed the gate: %+v", deltas)
+	}
+	// The same ratio with an absolute delta above the floor is a failure.
+	fresh = mustParse(t, "BenchmarkTiny 1 300000 ns/op")
+	if _, failures := Compare(base, fresh, DefaultOptions()); failures != 1 {
+		t.Error("above-floor 75x regression passed the gate")
+	}
+}
+
+// TestZeroAllocRatchet: a 0 allocs/op baseline fails on the first real
+// allocation — the slack covers float fuzz, not regressions.
+func TestZeroAllocRatchet(t *testing.T) {
+	base := mustParse(t, "BenchmarkDecode 100 37 ns/op 0 B/op 0 allocs/op")
+	fresh := mustParse(t, "BenchmarkDecode 100 37 ns/op 16 B/op 1 allocs/op")
+	deltas, failures := Compare(base, fresh, DefaultOptions())
+	if failures != 1 {
+		t.Fatalf("0->1 allocs/op passed the gate: %+v", deltas)
+	}
+	if d := verdictOf(t, deltas, "BenchmarkDecode"); d.Verdict != VerdictAllocsRegressed {
+		t.Errorf("verdict = %+v, want allocs regression", d)
+	}
+}
+
+// TestAllocJitterWithinThreshold: sync.Pool/GC interaction can wobble alloc
+// counts slightly on big campaign benchmarks; within 10%+slack passes.
+func TestAllocJitterWithinThreshold(t *testing.T) {
+	base := mustParse(t, "BenchmarkCampaign 1 1000000000 ns/op 149874 allocs/op")
+	fresh := mustParse(t, "BenchmarkCampaign 1 1000000000 ns/op 151000 allocs/op")
+	if deltas, failures := Compare(base, fresh, DefaultOptions()); failures != 0 {
+		t.Errorf("0.7%% alloc wobble failed the gate: %+v", deltas)
+	}
+	fresh = mustParse(t, "BenchmarkCampaign 1 1000000000 ns/op 200000 allocs/op")
+	if _, failures := Compare(base, fresh, DefaultOptions()); failures != 1 {
+		t.Error("+33% allocs passed the gate")
+	}
+}
+
+// TestMissingBenchmark: a benchmark that vanished from the run is a failure
+// by default (that is how a regression hides), a warning under
+// -allow-missing; a brand-new benchmark is informational either way.
+func TestMissingBenchmark(t *testing.T) {
+	base := mustParse(t, "BenchmarkGone 1 10000000 ns/op\nBenchmarkKept 1 10000000 ns/op")
+	fresh := mustParse(t, "BenchmarkKept 1 10000000 ns/op\nBenchmarkNew 1 5 ns/op")
+	deltas, failures := Compare(base, fresh, DefaultOptions())
+	if failures != 1 {
+		t.Fatalf("missing benchmark did not fail: %+v", deltas)
+	}
+	if d := verdictOf(t, deltas, "BenchmarkGone"); d.Verdict != VerdictMissing {
+		t.Errorf("verdict = %+v, want missing", d)
+	}
+	if d := verdictOf(t, deltas, "BenchmarkNew"); d.Verdict != VerdictNew || d.Fail {
+		t.Errorf("new benchmark verdict = %+v", d)
+	}
+
+	opts := DefaultOptions()
+	opts.AllowMissing = true
+	if _, failures := Compare(base, fresh, opts); failures != 0 {
+		t.Error("-allow-missing still failed on the missing benchmark")
+	}
+}
+
+// TestImprovementReported: a big win is labelled, not just silently ok, so
+// the delta report shows the measured multiple.
+func TestImprovementReported(t *testing.T) {
+	base := mustParse(t, "BenchmarkHot 1 13000000 ns/op")
+	fresh := mustParse(t, "BenchmarkHot 1 4000000 ns/op")
+	deltas, failures := Compare(base, fresh, DefaultOptions())
+	if failures != 0 {
+		t.Fatalf("improvement failed the gate: %+v", deltas)
+	}
+	if d := verdictOf(t, deltas, "BenchmarkHot"); d.Verdict != VerdictImproved {
+		t.Errorf("verdict = %+v, want improved", d)
+	}
+}
+
+// TestRepeatedSamplesGeomean: benchstat-style repeated samples (-count > 1)
+// are folded by geometric mean before comparison.
+func TestRepeatedSamplesGeomean(t *testing.T) {
+	base := mustParse(t, "BenchmarkR 1 10000000 ns/op")
+	fresh := mustParse(t, `
+BenchmarkR 1 8000000 ns/op
+BenchmarkR 1 12500000 ns/op
+`)
+	deltas, failures := Compare(base, fresh, DefaultOptions())
+	if failures != 0 {
+		t.Fatalf("geomean of jittery samples failed: %+v", deltas)
+	}
+	d := verdictOf(t, deltas, "BenchmarkR")
+	if d.NewNs < 9.9e6 || d.NewNs > 10.1e6 {
+		t.Errorf("geomean(8ms, 12.5ms) = %v, want ~10ms", d.NewNs)
+	}
+}
+
+// TestSubBenchmarkKeysStable: trailing numeric shard counts are parsed as a
+// procs suffix but re-appended by Key, so cross-run comparison of
+// sub-benchmarks like shards-4 still lines up.
+func TestSubBenchmarkKeysStable(t *testing.T) {
+	base := mustParse(t, "BenchmarkParallelSweep/shards-4 1 8000000 ns/op")
+	fresh := mustParse(t, "BenchmarkParallelSweep/shards-4 1 8100000 ns/op")
+	deltas, failures := Compare(base, fresh, DefaultOptions())
+	if failures != 0 || len(deltas) != 1 {
+		t.Fatalf("shards-4 keys did not line up: %+v", deltas)
+	}
+	if deltas[0].Key != "BenchmarkParallelSweep/shards-4" {
+		t.Errorf("key = %q", deltas[0].Key)
+	}
+}
+
+// TestReportRendersEveryVerdict smoke-tests the delta table.
+func TestReportRendersEveryVerdict(t *testing.T) {
+	base := mustParse(t, `
+BenchmarkRegressed 1 10000000 ns/op
+BenchmarkImproved 1 10000000 ns/op
+BenchmarkGone 1 10000000 ns/op
+`)
+	fresh := mustParse(t, `
+BenchmarkRegressed 1 90000000 ns/op
+BenchmarkImproved 1 1000000 ns/op
+BenchmarkNew 1 5 ns/op
+`)
+	deltas, _ := Compare(base, fresh, DefaultOptions())
+	var sb strings.Builder
+	Report(&sb, deltas)
+	out := sb.String()
+	for _, want := range []string{VerdictNsRegressed, VerdictImproved, VerdictMissing, VerdictNew, "9.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,121 +1,56 @@
 // Command benchjson converts `go test -bench` output into a JSON baseline
 // file. The raw benchmark lines are preserved verbatim under "raw", so the
-// file stays benchstat-compatible (`jq -r '.raw[]' BENCH_pr6.json | benchstat -`),
+// file stays benchstat-compatible (`jq -r '.raw[]' BENCH_pr7.json | benchstat -`),
 // while the parsed fields make single-metric assertions trivial in CI.
 //
-//	go test -bench . -benchmem -run '^$' . | benchjson -tag pr6 > BENCH_pr6.json
+//	go test -bench . -benchmem -run '^$' . | benchjson -tag pr7 > BENCH_pr7.json
+//
+// Parsing lives in internal/benchfmt, shared with cmd/benchgate (the
+// regression gate that compares a fresh run against a committed baseline).
+// A line is kept when its name/iteration prefix parses and it carries at
+// least one recognised metric — including 0.00 ns/op values, -benchmem-only
+// lines and custom b.ReportMetric units, which the old NsPerOp > 0 validity
+// test silently dropped.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
-	Name string `json:"name"`
-	// Procs is the GOMAXPROCS suffix (1 when absent).
-	Procs int `json:"procs"`
-	// Iterations is b.N for the reported run.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is nanoseconds per operation.
-	NsPerOp float64 `json:"ns_per_op"`
-	// BytesPerOp is heap bytes allocated per operation (-benchmem).
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
-	// AllocsPerOp is heap allocations per operation (-benchmem).
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-}
-
-// Baseline is the emitted file: environment, parsed results, raw lines.
-type Baseline struct {
-	// Tag identifies the baseline (the PR or commit it was taken at).
-	Tag string `json:"tag,omitempty"`
-	// Goos and Goarch record the platform the numbers were taken on.
-	Goos   string `json:"goos"`
-	Goarch string `json:"goarch"`
-	// Benchmarks holds the parsed result lines, input order preserved.
-	Benchmarks []Benchmark `json:"benchmarks"`
-	// Raw holds the unmodified Benchmark* lines for benchstat.
-	Raw []string `json:"raw"`
+// run converts bench output on in to a baseline JSON document on out.
+func run(in io.Reader, out io.Writer, tag string) error {
+	benchmarks, raw, err := benchfmt.Parse(in)
+	if err != nil {
+		return fmt.Errorf("reading input: %w", err)
+	}
+	if len(benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	base := benchfmt.Baseline{
+		Tag:        tag,
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		Benchmarks: benchmarks,
+		Raw:        raw,
+	}
+	return base.Write(out)
 }
 
 func main() {
-	tag := flag.String("tag", "", "label recorded in the baseline (e.g. pr6)")
+	tag := flag.String("tag", "", "label recorded in the baseline (e.g. pr7)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: go test -bench . -benchmem | benchjson [-tag label] > BENCH.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-
-	out := Baseline{Tag: *tag, Goos: runtime.GOOS, Goarch: runtime.GOARCH}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		b, ok := parseLine(line)
-		if !ok {
-			continue
-		}
-		out.Benchmarks = append(out.Benchmarks, b)
-		out.Raw = append(out.Raw, line)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
-		os.Exit(1)
-	}
-	if len(out.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := run(os.Stdin, os.Stdout, *tag); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// parseLine parses one `BenchmarkX-N  iters  1234 ns/op [...]` line.
-func parseLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: fields[0], Procs: 1}
-	if i := strings.LastIndex(fields[0], "-"); i > 0 {
-		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
-			b.Name, b.Procs = fields[0][:i], p
-		}
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b.Iterations = iters
-	// The remainder is value-unit pairs: "1234 ns/op 56 B/op 7 allocs/op".
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
-		case "ns/op":
-			b.NsPerOp = v
-		case "B/op":
-			b.BytesPerOp = v
-		case "allocs/op":
-			b.AllocsPerOp = v
-		}
-	}
-	return b, b.NsPerOp > 0
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+// TestRunEmitsBaseline drives the tool end to end: bench text in, baseline
+// JSON out, with the line shapes the old parser dropped (0.00 ns/op,
+// benchmem-only values, custom metrics) all preserved.
+func TestRunEmitsBaseline(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"cpu: whatever",
+		"BenchmarkSweep-8 \t 120 \t 9534 ns/op \t 512 B/op \t 7 allocs/op",
+		"BenchmarkFast 1000000000 0.00 ns/op",
+		"BenchmarkModel 1 0.021 mean-model-overhead",
+		"PASS",
+	}, "\n")
+	var out strings.Builder
+	if err := run(strings.NewReader(input), &out, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var base benchfmt.Baseline
+	if err := json.Unmarshal([]byte(out.String()), &base); err != nil {
+		t.Fatalf("output is not valid baseline JSON: %v", err)
+	}
+	if base.Tag != "test" {
+		t.Errorf("tag = %q, want test", base.Tag)
+	}
+	if len(base.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(base.Benchmarks), base.Benchmarks)
+	}
+	if len(base.Raw) != 3 {
+		t.Errorf("raw kept %d lines, want 3", len(base.Raw))
+	}
+	if !base.Benchmarks[1].HasNs || base.Benchmarks[1].NsPerOp != 0 {
+		t.Errorf("0.00 ns/op line not preserved: %+v", base.Benchmarks[1])
+	}
+	if base.Benchmarks[2].Custom["mean-model-overhead"] != 0.021 {
+		t.Errorf("custom metric not preserved: %+v", base.Benchmarks[2])
+	}
+}
+
+// TestRunRejectsEmptyInput: input with no benchmark lines is an error, not
+// an empty baseline committed by accident.
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\nok repro 1.0s\n"), &out, ""); err == nil {
+		t.Error("metric-free input produced a baseline")
+	}
+}

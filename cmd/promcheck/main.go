@@ -20,6 +20,33 @@ import (
 	"repro/internal/obs"
 )
 
+// collect parses every named input as Prometheus text exposition — stdin
+// when paths is empty — and returns the concatenated samples. The first
+// malformed input fails the whole run.
+func collect(stdin io.Reader, paths []string) ([]obs.Sample, error) {
+	if len(paths) == 0 {
+		s, err := obs.ParseText(stdin)
+		if err != nil {
+			return nil, fmt.Errorf("stdin: %w", err)
+		}
+		return s, nil
+	}
+	var samples []obs.Sample
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := obs.ParseText(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		samples = append(samples, s...)
+	}
+	return samples, nil
+}
+
 func main() {
 	sum := flag.String("sum", "", "print the summed value of this metric family across all inputs")
 	flag.Usage = func() {
@@ -28,26 +55,10 @@ func main() {
 	}
 	flag.Parse()
 
-	var samples []obs.Sample
-	readOne := func(name string, r io.Reader) {
-		s, err := obs.ParseText(r)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		samples = append(samples, s...)
-	}
-	if flag.NArg() == 0 {
-		readOne("stdin", os.Stdin)
-	}
-	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
-			os.Exit(1)
-		}
-		readOne(path, f)
-		f.Close()
+	samples, err := collect(os.Stdin, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
 	}
 	if *sum != "" {
 		fmt.Printf("%.0f\n", obs.Sum(samples, *sum))

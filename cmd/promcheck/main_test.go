@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const exposition = `# HELP cherivoke_jobs_executed_total Jobs executed.
+# TYPE cherivoke_jobs_executed_total counter
+cherivoke_jobs_executed_total{worker="w1"} 3
+cherivoke_jobs_executed_total{worker="w2"} 4
+# TYPE cherivoke_sweeps_total counter
+cherivoke_sweeps_total 17
+`
+
+// TestCollectStdin parses exposition from stdin when no files are given.
+func TestCollectStdin(t *testing.T) {
+	samples, err := collect(strings.NewReader(exposition), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Sum(samples, "cherivoke_jobs_executed_total"); got != 7 {
+		t.Errorf("summed jobs = %v, want 7", got)
+	}
+	if got := obs.Sum(samples, "cherivoke_sweeps_total"); got != 17 {
+		t.Errorf("summed sweeps = %v, want 17", got)
+	}
+}
+
+// TestCollectFiles sums one family across multiple scrape files, the
+// fleet-total use the CI smoke test relies on.
+func TestCollectFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, "scrape"+string(rune('a'+i))+".prom")
+		if err := os.WriteFile(paths[i], []byte(exposition), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples, err := collect(nil, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Sum(samples, "cherivoke_jobs_executed_total"); got != 14 {
+		t.Errorf("summed jobs across files = %v, want 14", got)
+	}
+}
+
+// TestCollectErrors: malformed exposition and missing files fail the run.
+func TestCollectErrors(t *testing.T) {
+	if _, err := collect(strings.NewReader("this is { not exposition\n"), nil); err == nil {
+		t.Error("malformed exposition accepted")
+	}
+	if _, err := collect(nil, []string{filepath.Join(t.TempDir(), "absent.prom")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Package benchfmt parses `go test -bench` output and the JSON baseline
+// files committed as BENCH_*.json. It is the shared substrate of
+// cmd/benchjson (which emits baselines) and cmd/benchgate (which compares a
+// fresh run against one and fails CI on significant regressions).
+//
+// A benchmark result line has the shape
+//
+//	BenchmarkName-8   120   9534 ns/op   512 B/op   7 allocs/op   3.5 MiB/s
+//
+// i.e. a name (with an optional -GOMAXPROCS suffix), an iteration count,
+// then value/unit pairs. The standard units ns/op, B/op and allocs/op land
+// in dedicated fields; every other unit (custom b.ReportMetric units,
+// MB/s from b.SetBytes) is preserved in Custom. A line is usable as a
+// parsed Benchmark when its prefix parses and it carries at least one
+// recognised metric — a 0.00 ns/op value or a custom-metrics-only line is
+// still a result, not garbage.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per operation (-benchmem).
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is heap allocations per operation (-benchmem).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// HasNs, HasAllocs record which standard metrics the line actually
+	// carried, so a genuine 0 is distinguishable from an absent value.
+	HasNs     bool `json:"has_ns,omitempty"`
+	HasAllocs bool `json:"has_allocs,omitempty"`
+	// Custom holds every other value/unit pair on the line (b.ReportMetric
+	// units, MB/s), keyed by unit.
+	Custom map[string]float64 `json:"custom,omitempty"`
+}
+
+// Key identifies a benchmark across runs: name plus GOMAXPROCS.
+func (b Benchmark) Key() string {
+	if b.Procs == 1 {
+		return b.Name
+	}
+	return fmt.Sprintf("%s-%d", b.Name, b.Procs)
+}
+
+// Baseline is a committed BENCH_*.json file: environment, parsed results,
+// raw lines.
+type Baseline struct {
+	// Tag identifies the baseline (the PR or commit it was taken at).
+	Tag string `json:"tag,omitempty"`
+	// Goos and Goarch record the platform the numbers were taken on.
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	// Benchmarks holds the parsed result lines, input order preserved.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw holds the unmodified Benchmark* lines for benchstat.
+	Raw []string `json:"raw"`
+}
+
+// ParseLine parses one benchmark result line. ok reports whether the line's
+// name/iteration prefix parsed (such a line belongs in a raw transcript even
+// if no metric was recognised); hasMetric reports whether at least one
+// value/unit pair parsed, making b a usable result. The old validity test
+// (NsPerOp > 0) silently dropped 0.00 ns/op lines and lines carrying only
+// -benchmem or custom metrics; any recognised metric now counts.
+func ParseLine(line string) (b Benchmark, ok, hasMetric bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false, false
+	}
+	b = Benchmark{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(fields[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = fields[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters < 0 {
+		return Benchmark{}, false, false
+	}
+	b.Iterations = iters
+	// The remainder is value/unit pairs: "1234 ns/op 56 B/op 7 allocs/op".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			// Not a value: resynchronise on the next field rather than
+			// skipping a potential value as a unit.
+			i--
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp, b.HasNs = v, true
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp, b.HasAllocs = v, true
+		default:
+			if b.Custom == nil {
+				b.Custom = make(map[string]float64)
+			}
+			b.Custom[unit] = v
+		}
+		hasMetric = true
+	}
+	return b, true, hasMetric
+}
+
+// maxLine bounds one benchmark output line; custom-metric-heavy benchmarks
+// produce long lines, but a megabyte is corruption, not output.
+const maxLine = 1024 * 1024
+
+// Parse reads `go test -bench` output from r, returning the parsed results
+// and the raw benchmark lines. A line whose prefix parses is kept in raw
+// even when it carries no recognised metric (benchstat may still understand
+// it); only lines with at least one metric become Benchmarks.
+func Parse(r io.Reader) (benchmarks []Benchmark, raw []string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok, hasMetric := ParseLine(line)
+		if !ok {
+			continue
+		}
+		raw = append(raw, line)
+		if hasMetric {
+			benchmarks = append(benchmarks, b)
+		}
+	}
+	return benchmarks, raw, sc.Err()
+}
+
+// ReadBaseline loads a committed baseline JSON file.
+func ReadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return Baseline{}, fmt.Errorf("benchfmt: parsing baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// Write emits the baseline as indented JSON.
+func (b Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Geomean returns the geometric mean of vals: the benchstat-style summary
+// for repeated samples of one benchmark. Non-positive values fall back to
+// the arithmetic mean (a 0.00 ns/op sample would zero the product).
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	logSum, sum := 0.0, 0.0
+	positive := true
+	for _, v := range vals {
+		if v <= 0 {
+			positive = false
+		} else {
+			logSum += math.Log(v)
+		}
+		sum += v
+	}
+	if !positive {
+		return sum / float64(len(vals))
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}

@@ -1,0 +1,238 @@
+package benchfmt
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestParseLineGolden is the golden table for the result-line grammar,
+// covering the shapes the old NsPerOp > 0 validity test mishandled:
+// 0.00 ns/op lines, -benchmem-only lines, custom-metric-only lines, and
+// sub-benchmark names whose own dashes must not be eaten as a GOMAXPROCS
+// suffix.
+func TestParseLineGolden(t *testing.T) {
+	cases := []struct {
+		name      string
+		line      string
+		ok        bool
+		hasMetric bool
+		want      Benchmark
+	}{
+		{
+			name:      "plain with GOMAXPROCS suffix",
+			line:      "BenchmarkFoo-8   \t120\t  9534 ns/op",
+			ok:        true,
+			hasMetric: true,
+			want:      Benchmark{Name: "BenchmarkFoo", Procs: 8, Iterations: 120, NsPerOp: 9534, HasNs: true},
+		},
+		{
+			name:      "no suffix",
+			line:      "BenchmarkFoo 120 9534 ns/op",
+			ok:        true,
+			hasMetric: true,
+			want:      Benchmark{Name: "BenchmarkFoo", Procs: 1, Iterations: 120, NsPerOp: 9534, HasNs: true},
+		},
+		{
+			name:      "sub-benchmark with dashes keeps only trailing procs",
+			line:      "BenchmarkAblationParallelSweep/shards-4-8 1 8051659 ns/op",
+			ok:        true,
+			hasMetric: true,
+			want:      Benchmark{Name: "BenchmarkAblationParallelSweep/shards-4", Procs: 8, Iterations: 1, NsPerOp: 8051659, HasNs: true},
+		},
+		{
+			name:      "dash suffix that is not a number stays in the name",
+			line:      "BenchmarkSweep/mode-fast 10 100 ns/op",
+			ok:        true,
+			hasMetric: true,
+			want:      Benchmark{Name: "BenchmarkSweep/mode-fast", Procs: 1, Iterations: 10, NsPerOp: 100, HasNs: true},
+		},
+		{
+			name:      "benchmem pairs",
+			line:      "BenchmarkBar-4 7 12.5 ns/op 512 B/op 7 allocs/op",
+			ok:        true,
+			hasMetric: true,
+			want: Benchmark{Name: "BenchmarkBar", Procs: 4, Iterations: 7, NsPerOp: 12.5, HasNs: true,
+				BytesPerOp: 512, AllocsPerOp: 7, HasAllocs: true},
+		},
+		{
+			name:      "zero ns/op is a result, not garbage",
+			line:      "BenchmarkFast-8 1000000000 0.00 ns/op",
+			ok:        true,
+			hasMetric: true,
+			want:      Benchmark{Name: "BenchmarkFast", Procs: 8, Iterations: 1000000000, NsPerOp: 0, HasNs: true},
+		},
+		{
+			name:      "zero allocs survives with HasAllocs set",
+			line:      "BenchmarkZero-8 100 37.49 ns/op 0 B/op 0 allocs/op",
+			ok:        true,
+			hasMetric: true,
+			want: Benchmark{Name: "BenchmarkZero", Procs: 8, Iterations: 100, NsPerOp: 37.49, HasNs: true,
+				BytesPerOp: 0, AllocsPerOp: 0, HasAllocs: true},
+		},
+		{
+			name:      "custom metrics only",
+			line:      "BenchmarkModel 1 0.02109 mean-model-overhead",
+			ok:        true,
+			hasMetric: true,
+			want: Benchmark{Name: "BenchmarkModel", Procs: 1, Iterations: 1,
+				Custom: map[string]float64{"mean-model-overhead": 0.02109}},
+		},
+		{
+			name:      "custom metric alongside standard ones",
+			line:      "BenchmarkTraceRecordReplay 1 13090329 ns/op 19772 events/op 6332256 B/op 3801 allocs/op",
+			ok:        true,
+			hasMetric: true,
+			want: Benchmark{Name: "BenchmarkTraceRecordReplay", Procs: 1, Iterations: 1,
+				NsPerOp: 13090329, HasNs: true, BytesPerOp: 6332256, AllocsPerOp: 3801, HasAllocs: true,
+				Custom: map[string]float64{"events/op": 19772}},
+		},
+		{
+			name:      "prefix parses but no metric",
+			line:      "BenchmarkOdd 5",
+			ok:        true,
+			hasMetric: false,
+			want:      Benchmark{Name: "BenchmarkOdd", Procs: 1, Iterations: 5},
+		},
+		{
+			name: "not a benchmark line",
+			line: "PASS",
+			ok:   false,
+		},
+		{
+			name: "iteration field not a number",
+			line: "BenchmarkBroken banana 12 ns/op",
+			ok:   false,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b, ok, hasMetric := ParseLine(c.line)
+			if ok != c.ok || hasMetric != c.hasMetric {
+				t.Fatalf("ParseLine(%q) = ok %v hasMetric %v, want %v %v", c.line, ok, hasMetric, c.ok, c.hasMetric)
+			}
+			if !ok {
+				return
+			}
+			if b.Name != c.want.Name || b.Procs != c.want.Procs || b.Iterations != c.want.Iterations ||
+				b.NsPerOp != c.want.NsPerOp || b.BytesPerOp != c.want.BytesPerOp ||
+				b.AllocsPerOp != c.want.AllocsPerOp || b.HasNs != c.want.HasNs || b.HasAllocs != c.want.HasAllocs {
+				t.Errorf("ParseLine(%q) = %+v, want %+v", c.line, b, c.want)
+			}
+			if len(b.Custom) != len(c.want.Custom) {
+				t.Fatalf("ParseLine(%q) custom = %v, want %v", c.line, b.Custom, c.want.Custom)
+			}
+			for unit, v := range c.want.Custom {
+				if b.Custom[unit] != v {
+					t.Errorf("ParseLine(%q) custom[%q] = %v, want %v", c.line, unit, b.Custom[unit], v)
+				}
+			}
+		})
+	}
+}
+
+// TestParseKeepsRawWithoutMetrics: a line whose prefix parses belongs in the
+// raw transcript even when no metric was recognised, while only
+// metric-carrying lines become Benchmarks.
+func TestParseKeepsRawWithoutMetrics(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkA-8 10 100 ns/op",
+		"BenchmarkNoMetric 5",
+		"BenchmarkZero 1000000000 0.00 ns/op",
+		"PASS",
+	}, "\n")
+	benchmarks, raw, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 3 {
+		t.Errorf("raw kept %d lines, want 3: %q", len(raw), raw)
+	}
+	if len(benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(benchmarks), benchmarks)
+	}
+	if benchmarks[1].Name != "BenchmarkZero" || !benchmarks[1].HasNs || benchmarks[1].NsPerOp != 0 {
+		t.Errorf("0.00 ns/op line dropped or mangled: %+v", benchmarks[1])
+	}
+}
+
+// TestParseOversizeLine: a line longer than the scanner's default token size
+// must still parse (custom-metric-heavy benchmarks produce long lines), and
+// a line beyond maxLine reports an error instead of silently truncating.
+func TestParseOversizeLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("BenchmarkWide 1 100 ns/op")
+	for i := 0; sb.Len() < 128*1024; i++ {
+		sb.WriteString(" 1 unit-")
+		for j := 0; j < 64; j++ {
+			sb.WriteByte('x')
+		}
+		sb.WriteString("/op")
+	}
+	benchmarks, _, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("128KiB line failed to parse: %v", err)
+	}
+	if len(benchmarks) != 1 || !benchmarks[0].HasNs {
+		t.Fatalf("oversize line mangled: %+v", benchmarks)
+	}
+
+	huge := "Benchmark" + strings.Repeat("x", maxLine+1)
+	if _, _, err := Parse(strings.NewReader(huge)); err == nil {
+		t.Error("line beyond maxLine parsed without error")
+	}
+}
+
+func TestKey(t *testing.T) {
+	if k := (Benchmark{Name: "BenchmarkA", Procs: 1}).Key(); k != "BenchmarkA" {
+		t.Errorf("Key procs=1 = %q", k)
+	}
+	if k := (Benchmark{Name: "BenchmarkA", Procs: 8}).Key(); k != "BenchmarkA-8" {
+		t.Errorf("Key procs=8 = %q", k)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	// A zero sample falls back to the arithmetic mean instead of zeroing
+	// the product.
+	if g := Geomean([]float64{0, 10}); math.Abs(g-5) > 1e-12 {
+		t.Errorf("Geomean(0,10) = %v, want 5", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+}
+
+// TestBaselineRoundTrip pins the JSON schema both tools share.
+func TestBaselineRoundTrip(t *testing.T) {
+	input := "BenchmarkA-8 10 100 ns/op 5 B/op 1 allocs/op\nBenchmarkB 1 3.5 widgets/op"
+	benchmarks, raw, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Baseline{Tag: "t", Goos: "linux", Goarch: "amd64", Benchmarks: benchmarks, Raw: raw}
+	var sb strings.Builder
+	if err := base.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/bench.json"
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != "t" || len(got.Benchmarks) != 2 || len(got.Raw) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Benchmarks[1].Custom["widgets/op"] != 3.5 {
+		t.Errorf("custom metric lost in round trip: %+v", got.Benchmarks[1])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/mem"
 	"repro/internal/revoke"
 	"repro/internal/sim"
 )
@@ -139,7 +140,7 @@ func TestTrafficValidation(t *testing.T) {
 	// A shared hierarchy on the variant must not be used by jobs: the run
 	// below would race on it (and trip -race) if it were.
 	v := PaperVariant()
-	v.Revoke.Hierarchy = newHierarchy(TrafficX86)
+	v.Revoke.Hierarchy = mem.NewX86Hierarchy()
 	res, err := Run(context.Background(), Spec{
 		Profiles:  []string{"povray", "hmmer"},
 		Variants:  []Variant{v},

@@ -79,16 +79,33 @@ type TrafficReport struct {
 	Levels []mem.LevelStats `json:"levels"`
 }
 
-// newHierarchy builds the job-owned cache hierarchy for a traffic model
-// name (validated by Spec.Jobs).
-func newHierarchy(model string) *mem.Hierarchy {
-	switch model {
-	case TrafficX86:
-		return mem.NewX86Hierarchy()
-	case TrafficCHERI:
-		return mem.NewCHERIHierarchy()
-	default:
-		return nil
+// hierarchyPools recycles the job-owned cache hierarchies across campaign
+// jobs, one pool per traffic model — the Sweeper.shardClones pattern lifted
+// to the campaign layer. A hierarchy is megabytes of line metadata, and a
+// campaign with traffic modelling runs hundreds of jobs; HierarchyPool.Put
+// resets to the exact cold state the constructor produces, so a pooled job
+// is byte-identical to one with a fresh hierarchy (the campaign determinism
+// suites pin this). sync.Pool underneath makes it safe for the worker pool.
+var hierarchyPools = map[string]*mem.HierarchyPool{
+	TrafficX86:   mem.NewHierarchyPool(mem.NewX86Hierarchy),
+	TrafficCHERI: mem.NewHierarchyPool(mem.NewCHERIHierarchy),
+}
+
+// acquireHierarchy returns a cold job-owned hierarchy for a traffic model
+// name (validated by Spec.Jobs), nil when traffic modelling is off. Pair
+// with releaseHierarchy when the job is done measuring.
+func acquireHierarchy(model string) *mem.Hierarchy {
+	if p, ok := hierarchyPools[model]; ok {
+		return p.Get()
+	}
+	return nil
+}
+
+// releaseHierarchy returns a job's hierarchy to its model's pool; nil (or an
+// unknown model) is a no-op, so callers release unconditionally.
+func releaseHierarchy(model string, h *mem.Hierarchy) {
+	if p, ok := hierarchyPools[model]; ok {
+		p.Put(h)
 	}
 }
 
@@ -115,7 +132,7 @@ func jobConfig(job Job) core.Config {
 		UnmapLarge:      job.Variant.UnmapLarge,
 		Alloc:           alloc.Options{TypedReuse: job.Variant.TypedReuse},
 	}
-	cfg.Revoke.Hierarchy = newHierarchy(job.Traffic)
+	cfg.Revoke.Hierarchy = acquireHierarchy(job.Traffic)
 	return cfg
 }
 
@@ -149,6 +166,9 @@ func runJob(spec Spec, job Job, traces TraceOpener) JobResult {
 		MaxEvents:    job.MaxEvents,
 	}
 	cfg := jobConfig(job)
+	// assemble copies the traffic counters out, so the hierarchy can go
+	// back to the pool as soon as the job result exists.
+	defer releaseHierarchy(job.Traffic, cfg.Revoke.Hierarchy)
 	if job.ScaledStartup {
 		m := sim.X86()
 		m.SweepStartup *= workload.Scale(p, wopts)
@@ -194,6 +214,7 @@ func runTraceJob(spec Spec, job Job, traces TraceOpener) JobResult {
 	p := traceProfile(job, src.Header())
 
 	cfg := jobConfig(job)
+	defer releaseHierarchy(job.Traffic, cfg.Revoke.Hierarchy)
 	sys, err := core.New(cfg)
 	if err != nil {
 		return failed(job, err)

@@ -1,5 +1,7 @@
 package mem
 
+import "sync"
+
 // Set-associative LRU cache model used to account DRAM traffic for the
 // revocation sweep (Figure 10) and to model the tag cache that CLoadTags
 // probes terminate in (§2.2, §3.4.1). The model tracks hits, misses and
@@ -310,4 +312,41 @@ func (h *Hierarchy) AccessTags(dataAddr uint64) bool {
 		h.stats.OffCoreBytes += LineSize
 	}
 	return hit
+}
+
+// HierarchyPool recycles Hierarchy instances across simulation jobs. A
+// hierarchy is ~4 MiB of per-line metadata, so allocating one per campaign
+// job dominates job setup; Put resets the hierarchy to the exact cold state
+// New produces (Reset invalidates every line and zeroes every counter), so a
+// pooled Get is observationally identical to a fresh construction and the
+// determinism suites hold bit for bit. Safe for concurrent use by campaign
+// workers.
+type HierarchyPool struct {
+	// New constructs a hierarchy when the pool is empty
+	// (e.g. NewX86Hierarchy).
+	New  func() *Hierarchy
+	pool sync.Pool
+}
+
+// NewHierarchyPool returns a pool backed by the given constructor.
+func NewHierarchyPool(fresh func() *Hierarchy) *HierarchyPool {
+	return &HierarchyPool{New: fresh}
+}
+
+// Get returns a cold hierarchy, reusing a pooled one when available.
+func (p *HierarchyPool) Get() *Hierarchy {
+	if h, ok := p.pool.Get().(*Hierarchy); ok {
+		return h
+	}
+	return p.New()
+}
+
+// Put resets h to cold and returns it to the pool. Put(nil) is a no-op, so
+// callers can release unconditionally.
+func (p *HierarchyPool) Put(h *Hierarchy) {
+	if h == nil {
+		return
+	}
+	h.Reset()
+	p.pool.Put(h)
 }

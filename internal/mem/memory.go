@@ -321,6 +321,46 @@ func (m *Memory) PeekWords(addr uint64) (lo, hi uint64, tag bool, err error) {
 	return p.words[w], p.words[w+1], p.tagAt(uint(addr % PageSize / GranuleSize)), nil
 }
 
+// PageView is a borrowed read-only view of one mapped page: the sweep hot
+// loop resolves the page-table lookup once per page and then reads tags and
+// granules through the view, instead of paying a map lookup per PeekLineTags
+// and PeekWords call (up to LinesPerPage + GranulesPerPage lookups per page).
+// A view is invalidated by Unmap of its page; it must not outlive the sweep
+// that took it, and mutating the memory through other accessors while
+// holding a view is the caller's concurrency problem (same rules as the
+// Peek* accessors it replaces).
+type PageView struct {
+	p *page
+}
+
+// PageView returns a view of the mapped page at base (which must be
+// page-aligned).
+func (m *Memory) PageView(base uint64) (PageView, error) {
+	if base%PageSize != 0 {
+		return PageView{}, faultf(ErrAlign, "mem: PageView(%#x)", base)
+	}
+	p, err := m.pageFor(base)
+	if err != nil {
+		return PageView{}, err
+	}
+	return PageView{p: p}, nil
+}
+
+// LineTagMask returns the tag bits of line index line (0..LinesPerPage-1),
+// bit i for granule i of the line — PeekLineTags without the per-call page
+// lookup.
+func (v PageView) LineTagMask(line uint) uint8 { return v.p.lineTagMask(line) }
+
+// Granule returns the two data words and tag of granule index g
+// (0..GranulesPerPage-1) — PeekWords without the per-call page lookup.
+func (v PageView) Granule(g uint) (lo, hi uint64, tag bool) {
+	w := g * (GranuleSize / WordSize)
+	return v.p.words[w], v.p.words[w+1], v.p.tagAt(g)
+}
+
+// CapCount returns the page's tagged-granule count.
+func (v PageView) CapCount() int { return v.p.capCount }
+
 // SetCapStoreInhibit sets or clears the capability-store-inhibit PTE bit of
 // the page containing addr.
 func (m *Memory) SetCapStoreInhibit(addr uint64, v bool) error {
@@ -345,14 +385,23 @@ func (m *Memory) CapDirty(addr uint64) (bool, error) {
 // the system API (akin to Windows' GetWriteWatch, footnote 4) a sweep uses
 // to restrict itself to pages that may contain capabilities.
 func (m *Memory) CapDirtyPages() []uint64 {
-	out := make([]uint64, 0, len(m.pages))
+	return m.AppendCapDirtyPages(make([]uint64, 0, len(m.pages)))
+}
+
+// AppendCapDirtyPages appends the sorted base addresses of all CapDirty
+// pages to dst and returns it — CapDirtyPages for callers (the sweeper, the
+// campaign loop) that reuse one backing slice across sweeps instead of
+// allocating a page list per call.
+func (m *Memory) AppendCapDirtyPages(dst []uint64) []uint64 {
+	start := len(dst)
 	for vpn, p := range m.pages {
 		if p.capDirty {
-			out = append(out, vpn*PageSize)
+			dst = append(dst, vpn*PageSize)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
 }
 
 // PageCount returns the number of mapped pages, without materialising the
@@ -361,12 +410,19 @@ func (m *Memory) PageCount() uint64 { return uint64(len(m.pages)) }
 
 // AllPages returns the sorted base addresses of every mapped page.
 func (m *Memory) AllPages() []uint64 {
-	out := make([]uint64, 0, len(m.pages))
+	return m.AppendAllPages(make([]uint64, 0, len(m.pages)))
+}
+
+// AppendAllPages appends the sorted base addresses of every mapped page to
+// dst and returns it, for callers reusing one backing slice across sweeps.
+func (m *Memory) AppendAllPages(dst []uint64) []uint64 {
+	start := len(dst)
 	for vpn := range m.pages {
-		out = append(out, vpn*PageSize)
+		dst = append(dst, vpn*PageSize)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
 }
 
 // LaunderCapDirty clears CapDirty on the page at base if the page holds no

@@ -72,17 +72,19 @@ func (p *page) setTag(granule uint, v bool) {
 	}
 }
 
+// The nibble extraction in lineTagMask assumes exactly 4 granules per line
+// (two lines per tag byte); these lengths go negative if the geometry drifts.
+var (
+	_ [GranulesPerLine - 4]byte
+	_ [4 - GranulesPerLine]byte
+)
+
 // lineTagMask returns the GranulesPerLine tag bits of the line starting at
-// the given line index within the page, as a little-endian bit mask.
+// the given line index within the page, as a little-endian bit mask. With 4
+// granules per line the mask is one nibble of the tag bitmap, extracted in a
+// single shift — this sits on the sweep's innermost per-line path.
 func (p *page) lineTagMask(line uint) uint8 {
-	g := line * GranulesPerLine
-	var mask uint8
-	for i := uint(0); i < GranulesPerLine; i++ {
-		if p.tagAt(g + i) {
-			mask |= 1 << i
-		}
-	}
-	return mask
+	return (p.tags[line>>1] >> ((line & 1) * GranulesPerLine)) & (1<<GranulesPerLine - 1)
 }
 
 // capLines returns the number of cache lines in the page containing at least

@@ -129,6 +129,16 @@ type Sweeper struct {
 	// geometry is several MiB of line metadata, far too much to allocate
 	// per sweep when campaigns sweep thousands of times.
 	shardClones []*mem.Hierarchy
+
+	// The same keep-across-sweeps rule applied to the flat slices a sweep
+	// walks: the page list, the shard partition, the per-shard and merged
+	// revocation lists. Campaigns sweep thousands of times over stable
+	// page-set sizes, so after the first sweep these reach steady state
+	// and the per-sweep allocation count stops scaling with heap size.
+	pageBuf      []uint64
+	partsBuf     [][]uint64
+	shardRevoked [][]uint64
+	revokedBuf   []uint64
 }
 
 // New returns a sweeper over m guided by the shadow map sm.
@@ -147,13 +157,12 @@ func (s *Sweeper) Config() Config { return s.cfg }
 // supplied register file. Registers are updated in place: a register holding
 // a revoked capability has its tag cleared, exactly like a memory word.
 func (s *Sweeper) Sweep(regs []cap.Capability) (Stats, error) {
-	var pages []uint64
 	if s.cfg.UseCapDirty {
-		pages = s.mem.CapDirtyPages()
+		s.pageBuf = s.mem.AppendCapDirtyPages(s.pageBuf[:0])
 	} else {
-		pages = s.mem.AllPages()
+		s.pageBuf = s.mem.AppendAllPages(s.pageBuf[:0])
 	}
-	stats, err := s.SweepPages(slices.Values(pages), regs)
+	stats, err := s.SweepPages(slices.Values(s.pageBuf), regs)
 	stats.PagesTotal = s.mem.PageCount()
 	stats.PagesSkipped = stats.PagesTotal - stats.PagesSwept
 	return stats, err
@@ -183,7 +192,8 @@ func (s *Sweeper) SweepPages(pages iter.Seq[uint64], regs []cap.Capability) (Sta
 		}
 	}
 
-	parts, swept, runs := partitionByTagWindow(pages, s.cfg.Shards)
+	parts, swept, runs := appendPartitionByTagWindow(pages, s.cfg.Shards, s.partsBuf)
+	s.partsBuf = parts
 	stats.PagesSwept = swept
 	stats.PageRuns = runs
 
@@ -251,6 +261,12 @@ type shardResult struct {
 func (s *Sweeper) sweepSharded(parts [][]uint64, stats *Stats) ([]uint64, error) {
 	shards := len(parts)
 	results := make([]shardResult, shards)
+	for len(s.shardRevoked) < shards {
+		s.shardRevoked = append(s.shardRevoked, nil)
+	}
+	for i := range results {
+		results[i].revoked = s.shardRevoked[i][:0]
+	}
 	if s.cfg.Hierarchy != nil {
 		for len(s.shardClones) < shards {
 			s.shardClones = append(s.shardClones, s.cfg.Hierarchy.CloneCold())
@@ -287,18 +303,20 @@ func (s *Sweeper) sweepSharded(parts [][]uint64, stats *Stats) ([]uint64, error)
 	// Merge, ordered by shard index. Every merge step is commutative and
 	// associative, so the order is a convention, not a correctness
 	// requirement — but fixing it keeps the walk canonical.
-	var revoked []uint64
+	revoked := s.revokedBuf[:0]
 	for i := range results {
 		if results[i].err != nil {
 			return nil, results[i].err
 		}
 		stats.Add(results[i].stats)
 		revoked = append(revoked, results[i].revoked...)
+		s.shardRevoked[i] = results[i].revoked // keep any growth for reuse
 		if s.cfg.Hierarchy != nil {
 			stats.Traffic = stats.Traffic.Merge(results[i].h.Stats())
 			s.cfg.Hierarchy.Absorb(results[i].h)
 		}
 	}
+	s.revokedBuf = revoked
 	if s.cfg.Hierarchy != nil {
 		stats.TrafficReplayed = true
 	}
@@ -316,10 +334,26 @@ func (s *Sweeper) sweepSharded(parts [][]uint64, stats *Stats) ([]uint64, error)
 // count: a tag line is only ever reused within its own window, and that
 // window is walked contiguously by a single shard.
 func partitionByTagWindow(pages iter.Seq[uint64], shards int) (parts [][]uint64, count, runs uint64) {
+	return appendPartitionByTagWindow(pages, shards, nil)
+}
+
+// appendPartitionByTagWindow is partitionByTagWindow reusing dst's backing
+// arrays (truncated, grown to shards slots as needed), so a sweeper that
+// partitions every sweep stops allocating once the shapes stabilise.
+func appendPartitionByTagWindow(pages iter.Seq[uint64], shards int, dst [][]uint64) (parts [][]uint64, count, runs uint64) {
 	if shards < 1 {
 		shards = 1
 	}
-	parts = make([][]uint64, shards)
+	parts = dst
+	if len(parts) > shards {
+		parts = parts[:shards]
+	}
+	for len(parts) < shards {
+		parts = append(parts, nil)
+	}
+	for i := range parts {
+		parts[i] = parts[i][:0]
+	}
 	window := ^uint64(0)
 	idx := -1
 	prev := ^uint64(0)
@@ -345,17 +379,26 @@ func partitionByTagWindow(pages iter.Seq[uint64], shards int) (parts [][]uint64,
 // every swept line under the unconditionally-storing vector kernel) — one
 // line write-back charge at discovery time (mem.Hierarchy.WriteBack).
 func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64, h *mem.Hierarchy) error {
+	// One page-table lookup per page: the loops below read tags and
+	// granules through the view instead of paying a map lookup per line
+	// probe (PeekLineTags) and per granule (PeekWords) — up to
+	// LinesPerPage + GranulesPerPage lookups a page.
+	view, err := s.mem.PageView(base)
+	if err != nil {
+		return err
+	}
+	if h == nil {
+		// Traffic off (Spec.Traffic == ""): no cache replay to feed, so
+		// take the specialised walk with no per-line hierarchy branches.
+		s.sweepPageFast(base, view, stats, revoked)
+		return nil
+	}
 	for line := uint64(0); line < mem.LinesPerPage; line++ {
 		lineAddr := base + line*mem.LineSize
 		if s.cfg.UseCLoadTags {
-			mask, err := s.mem.PeekLineTags(lineAddr)
-			if err != nil {
-				return err
-			}
+			mask := view.LineTagMask(uint(line))
 			stats.TagProbes++
-			if h != nil {
-				h.AccessTags(lineAddr)
-			}
+			h.AccessTags(lineAddr)
 			if mask == 0 {
 				stats.LinesSkipped++
 				continue
@@ -363,16 +406,10 @@ func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64, h *
 		}
 		stats.LinesSwept++
 		stats.BytesRead += mem.LineSize
-		if h != nil {
-			h.Access(lineAddr, false)
-		}
+		h.Access(lineAddr, false)
 		lineRevoked := false
 		for g := uint64(0); g < mem.GranulesPerLine; g++ {
-			addr := lineAddr + g*mem.GranuleSize
-			lo, hi, tag, err := s.mem.PeekWords(addr)
-			if err != nil {
-				return err
-			}
+			lo, hi, tag := view.Granule(uint(line*mem.GranulesPerLine + g))
 			stats.WordsRead += mem.GranuleSize / mem.WordSize
 			if !tag {
 				continue
@@ -380,13 +417,61 @@ func (s *Sweeper) sweepOnePage(base uint64, stats *Stats, revoked *[]uint64, h *
 			stats.CapsFound++
 			stats.ShadowLookups++
 			if s.shadow.Revoked(cap.DecodeBase(lo, hi)) {
-				*revoked = append(*revoked, addr)
+				*revoked = append(*revoked, lineAddr+g*mem.GranuleSize)
 				lineRevoked = true
 			}
 		}
-		if h != nil && (lineRevoked || s.cfg.Kernel == sim.KernelVector) {
+		if lineRevoked || s.cfg.Kernel == sim.KernelVector {
 			h.WriteBack()
 		}
 	}
 	return nil
+}
+
+// sweepPageFast is the traffic-off page walk. The event counts and the
+// revocation list are byte-identical to the general walk with h == nil —
+// the byte-identity suites pin this — but the loop skips straight over
+// capability-free pages and lines using the page's tag metadata:
+// a page with no tagged granules has closed-form counters, and a line whose
+// tag mask is zero can't contribute capabilities, so only tagged granules
+// are decoded.
+func (s *Sweeper) sweepPageFast(base uint64, view mem.PageView, stats *Stats, revoked *[]uint64) {
+	if view.CapCount() == 0 {
+		if s.cfg.UseCLoadTags {
+			stats.TagProbes += mem.LinesPerPage
+			stats.LinesSkipped += mem.LinesPerPage
+			return
+		}
+		stats.LinesSwept += mem.LinesPerPage
+		stats.BytesRead += mem.LinesPerPage * mem.LineSize
+		stats.WordsRead += mem.WordsPerPage
+		return
+	}
+	for line := uint64(0); line < mem.LinesPerPage; line++ {
+		mask := view.LineTagMask(uint(line))
+		if s.cfg.UseCLoadTags {
+			stats.TagProbes++
+			if mask == 0 {
+				stats.LinesSkipped++
+				continue
+			}
+		}
+		stats.LinesSwept++
+		stats.BytesRead += mem.LineSize
+		stats.WordsRead += mem.LineSize / mem.WordSize
+		if mask == 0 {
+			continue // untagged line: nothing to find or revoke
+		}
+		for g := uint64(0); g < mem.GranulesPerLine; g++ {
+			if mask&(1<<g) == 0 {
+				continue
+			}
+			lo, hi, _ := view.Granule(uint(line*mem.GranulesPerLine + g))
+			stats.CapsFound++
+			stats.ShadowLookups++
+			if s.shadow.Revoked(cap.DecodeBase(lo, hi)) {
+				*revoked = append(*revoked, base+line*mem.LineSize+g*mem.GranuleSize)
+			}
+		}
+	}
 }

@@ -125,19 +125,22 @@ type BinaryTraceWriter struct {
 
 // NewBinaryTraceWriter writes the binary header for hdr to w and returns a
 // writer for the event stream. hdr.Version 0 means the current version.
+// Construction failure closes w when it is a Closer: the caller hands over
+// ownership of the stream and gets no writer back to close it through.
 func NewBinaryTraceWriter(w io.Writer, hdr TraceHeader) (*BinaryTraceWriter, error) {
+	c := closerOf(w)
 	if hdr.Version == 0 {
 		hdr.Version = TraceVersion
 	}
 	if hdr.Version != TraceVersion {
-		return nil, fmt.Errorf("workload: unsupported trace version %d (writer supports %d)", hdr.Version, TraceVersion)
+		return nil, closeQuiet(c, fmt.Errorf("workload: unsupported trace version %d (writer supports %d)", hdr.Version, TraceVersion))
 	}
 	if len(hdr.Name) > maxTraceName {
-		return nil, fmt.Errorf("workload: trace name too long (%d bytes, max %d)", len(hdr.Name), maxTraceName)
+		return nil, closeQuiet(c, fmt.Errorf("workload: trace name too long (%d bytes, max %d)", len(hdr.Name), maxTraceName))
 	}
-	bw := &BinaryTraceWriter{w: bufio.NewWriter(w), c: closerOf(w)}
+	bw := &BinaryTraceWriter{w: bufio.NewWriter(w), c: c}
 	if _, err := bw.w.WriteString(TraceMagic); err != nil {
-		return nil, err
+		return nil, closeQuiet(c, err)
 	}
 	var buf []byte
 	buf = binary.AppendUvarint(buf, uint64(hdr.Version))
@@ -145,7 +148,7 @@ func NewBinaryTraceWriter(w io.Writer, hdr TraceHeader) (*BinaryTraceWriter, err
 	buf = binary.AppendUvarint(buf, uint64(len(hdr.Name)))
 	buf = append(buf, hdr.Name...)
 	if _, err := bw.w.Write(buf); err != nil {
-		return nil, err
+		return nil, closeQuiet(c, err)
 	}
 	return bw, nil
 }
@@ -154,6 +157,12 @@ func NewBinaryTraceWriter(w io.Writer, hdr TraceHeader) (*BinaryTraceWriter, err
 func (bw *BinaryTraceWriter) WriteEvent(ev TraceEvent) error {
 	if bw.closed {
 		return fmt.Errorf("workload: write on closed trace writer")
+	}
+	// Validate before encoding: a negative ref must never reach
+	// PutUvarint, where uint64(ev.Ref) would wrap into a huge valid-looking
+	// value and poison the stream.
+	if ev.Ref < 0 && ev.Op != EvMalloc {
+		return fmt.Errorf("workload: encoding negative ref %d", ev.Ref)
 	}
 	var payload [2 * binary.MaxVarintLen64]byte
 	n := 0
@@ -167,9 +176,6 @@ func (bw *BinaryTraceWriter) WriteEvent(ev TraceEvent) error {
 		n = binary.PutUvarint(payload[:], uint64(ev.Ref))
 	default:
 		return fmt.Errorf("workload: encoding unknown op %q", ev.Op)
-	}
-	if ev.Ref < 0 && ev.Op != EvMalloc {
-		return fmt.Errorf("workload: encoding negative ref %d", ev.Ref)
 	}
 	if err := bw.record(ev.Op, payload[:n]); err != nil {
 		return err
@@ -217,6 +223,12 @@ type BinaryTraceReader struct {
 	hdr   TraceHeader
 	count uint64 // event records consumed, including skipped ones
 	done  bool
+	fail  error // sticky decode error: once corrupt, always corrupt
+	// payload is the reusable decode buffer. It lives on the struct rather
+	// than Next's stack so the io.ReadFull interface call cannot force a
+	// per-record heap allocation — the decode hot loop runs at 0 allocs/op
+	// (BenchmarkBinaryTraceDecode asserts this).
+	payload [maxEventPayload]byte
 }
 
 // NewBinaryTraceReader parses the binary header from r and returns a reader
@@ -274,8 +286,21 @@ func (br *BinaryTraceReader) Format() string { return FormatBinary }
 
 // Next returns the next event. A stream that ends without its end record is
 // reported as truncated rather than io.EOF, so spooled uploads are
-// validated end to end.
+// validated end to end. Decode errors are sticky: once the stream is
+// corrupt, every later call returns the same error — a retry must never
+// resynchronise on garbage and read it as events (or as a clean EOF).
 func (br *BinaryTraceReader) Next() (TraceEvent, error) {
+	if br.fail != nil {
+		return TraceEvent{}, br.fail
+	}
+	ev, err := br.next()
+	if err != nil && err != io.EOF {
+		br.fail = err
+	}
+	return ev, err
+}
+
+func (br *BinaryTraceReader) next() (TraceEvent, error) {
 	for {
 		if br.done {
 			return TraceEvent{}, io.EOF
@@ -294,12 +319,11 @@ func (br *BinaryTraceReader) Next() (TraceEvent, error) {
 		if plen > maxEventPayload {
 			return TraceEvent{}, fmt.Errorf("workload: event payload length %d exceeds limit %d", plen, maxEventPayload)
 		}
-		var payload [maxEventPayload]byte
-		if _, err := io.ReadFull(br.r, payload[:plen]); err != nil {
+		if _, err := io.ReadFull(br.r, br.payload[:plen]); err != nil {
 			return TraceEvent{}, fmt.Errorf("workload: reading event payload: %w", noEOF(err))
 		}
 		if op == opEnd {
-			count, n := binary.Uvarint(payload[:plen])
+			count, n := binary.Uvarint(br.payload[:plen])
 			if n <= 0 {
 				return TraceEvent{}, fmt.Errorf("workload: malformed end record")
 			}
@@ -318,7 +342,7 @@ func (br *BinaryTraceReader) Next() (TraceEvent, error) {
 			return TraceEvent{}, io.EOF
 		}
 		br.count++
-		ev, known, err := decodeBinaryEvent(op, payload[:plen])
+		ev, known, err := decodeBinaryEvent(op, br.payload[:plen])
 		if err != nil {
 			return TraceEvent{}, err
 		}
@@ -412,21 +436,23 @@ type NDJSONTraceWriter struct {
 }
 
 // NewNDJSONTraceWriter writes the NDJSON header line for hdr to w and
-// returns a writer for the event stream.
+// returns a writer for the event stream. Construction failure closes w when
+// it is a Closer, mirroring NewBinaryTraceWriter.
 func NewNDJSONTraceWriter(w io.Writer, hdr TraceHeader) (*NDJSONTraceWriter, error) {
+	c := closerOf(w)
 	if hdr.Version == 0 {
 		hdr.Version = TraceVersion
 	}
 	if hdr.Version != TraceVersion {
-		return nil, fmt.Errorf("workload: unsupported trace version %d (writer supports %d)", hdr.Version, TraceVersion)
+		return nil, closeQuiet(c, fmt.Errorf("workload: unsupported trace version %d (writer supports %d)", hdr.Version, TraceVersion))
 	}
-	nw := &NDJSONTraceWriter{w: bufio.NewWriter(w), c: closerOf(w)}
+	nw := &NDJSONTraceWriter{w: bufio.NewWriter(w), c: c}
 	line, err := json.Marshal(ndjsonHeader{Format: ndjsonFormatID, Version: hdr.Version, Name: hdr.Name, Seed: hdr.Seed})
 	if err != nil {
-		return nil, err
+		return nil, closeQuiet(c, err)
 	}
 	if err := nw.writeLine(line); err != nil {
-		return nil, err
+		return nil, closeQuiet(c, err)
 	}
 	return nw, nil
 }
@@ -657,6 +683,7 @@ func ReadAllTrace(r TraceReader) (*Trace, error) {
 type StreamingSource struct {
 	r   TraceReader
 	buf []TraceEvent
+	err error // sticky terminal state: a decode error, or io.EOF
 }
 
 // NewStreamingSource wraps r with a bounded event window (0 = the
@@ -676,18 +703,28 @@ func (s *StreamingSource) Window() int { return cap(s.buf) }
 
 // NextWindow returns the next window of events, valid until the following
 // call (the buffer is reused). It returns io.EOF when the trace is
-// exhausted; a short final window is not an error.
+// exhausted; a short final window is not an error. A decode error is
+// terminal and sticky: the partial window is discarded and every later call
+// returns the same error, so a caller that retries past a corrupt tail can
+// never read it as a clean short window or a clean EOF (the underlying
+// reader has consumed bytes up to the corruption; a bare retry would
+// otherwise see io.EOF with an empty buffer).
 func (s *StreamingSource) NextWindow() ([]TraceEvent, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
 	s.buf = s.buf[:0]
 	for len(s.buf) < cap(s.buf) {
 		ev, err := s.r.Next()
 		if err == io.EOF {
 			if len(s.buf) == 0 {
+				s.err = io.EOF
 				return nil, io.EOF
 			}
 			break
 		}
 		if err != nil {
+			s.err = err
 			return nil, err
 		}
 		s.buf = append(s.buf, ev)

@@ -420,3 +420,207 @@ func TestStreamedRecordMatchesMaterialised(t *testing.T) {
 		t.Fatal("streamed record diverges from materialised record")
 	}
 }
+
+// trackCloser counts Close calls on a writer, to pin the constructor
+// error-path contract: ownership of the stream transfers to the writer, so
+// a failed construction must close it.
+type trackCloser struct {
+	bytes.Buffer
+	closed int
+}
+
+func (c *trackCloser) Close() error { c.closed++; return nil }
+
+// TestWriterClosesOnConstructionFailure: both trace writer constructors
+// close the underlying Closer when header validation or the header write
+// fails — the caller gets no writer back to close it through.
+func TestWriterClosesOnConstructionFailure(t *testing.T) {
+	badHeaders := []TraceHeader{
+		{Version: TraceVersion + 1},
+		{Version: TraceVersion, Name: strings.Repeat("n", maxTraceName+1)},
+	}
+	for i, hdr := range badHeaders {
+		var c trackCloser
+		if _, err := NewBinaryTraceWriter(&c, hdr); err == nil {
+			t.Fatalf("binary header %d accepted", i)
+		}
+		if c.closed != 1 {
+			t.Errorf("binary header %d: %d Close calls, want 1", i, c.closed)
+		}
+	}
+	var c trackCloser
+	if _, err := NewNDJSONTraceWriter(&c, TraceHeader{Version: TraceVersion + 1}); err == nil {
+		t.Fatal("ndjson bad version accepted")
+	}
+	if c.closed != 1 {
+		t.Errorf("ndjson: %d Close calls, want 1", c.closed)
+	}
+
+	// Successful construction must NOT close: the writer owns the stream
+	// until its own Close.
+	var ok trackCloser
+	w, err := NewBinaryTraceWriter(&ok, TraceHeader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.closed != 0 {
+		t.Errorf("successful construction closed the stream")
+	}
+	if err := w.Close(); err != nil || ok.closed != 1 {
+		t.Errorf("Close: err %v, %d Close calls, want 1", err, ok.closed)
+	}
+}
+
+// TestWriteEventValidatesBeforeEncoding: a negative ref is rejected up
+// front — uint64(ev.Ref) must never wrap into a huge valid-looking value —
+// and the rejected event leaves no bytes in the stream, so the trace stays
+// decodable with the correct count.
+func TestWriteEventValidatesBeforeEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewBinaryTraceWriter(&buf, TraceHeader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEvent(TraceEvent{Op: EvMalloc, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []TraceEvent{
+		{Op: EvFree, Ref: -1},
+		{Op: EvPlant, Ref: -7, Size: 16},
+	} {
+		if err := w.WriteEvent(ev); err == nil {
+			t.Fatalf("negative ref %+v accepted", ev)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := decode(t, buf.Bytes(), FormatBinary)
+	if len(got.Events) != 1 {
+		t.Fatalf("stream holds %d events after rejected writes, want 1", len(got.Events))
+	}
+}
+
+// TestBinaryReaderStickyError: after a decode error the reader must keep
+// returning that error — a retry that resynchronises on garbage bytes would
+// hand corrupt data to the replay as events.
+func TestBinaryReaderStickyError(t *testing.T) {
+	tr := &Trace{Name: "sticky", Seed: 1, Events: []TraceEvent{{Op: EvMalloc, Size: 64}}}
+	full := encode(t, tr, binaryWriter)
+	corrupt := append([]byte(nil), full[:len(full)-2]...) // cut into the end record
+
+	r, err := NewTraceReader(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first event: %v", err)
+	}
+	_, err1 := r.Next()
+	if err1 == nil || err1 == io.EOF {
+		t.Fatalf("corrupt tail yielded %v, want decode error", err1)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err != err1 {
+			t.Fatalf("retry %d: err %v, want the sticky %v", i, err, err1)
+		}
+	}
+}
+
+// TestStreamingSourceCorruptTail is the NextWindow regression test: a full
+// window followed by a corrupt record must surface the error on the next
+// call and on every call after it. Before errors were sticky, a retry hit
+// the reader's post-error state and could read the corrupt tail as a clean
+// empty window (io.EOF with nothing buffered).
+func TestStreamingSourceCorruptTail(t *testing.T) {
+	tr := syntheticTrace(3, 5)
+	full := encode(t, tr, binaryWriter)
+	corrupt := append([]byte(nil), full[:len(full)-2]...) // cut into the end record
+
+	r, err := NewTraceReader(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewStreamingSource(r, 5)
+	win, err := src.NextWindow()
+	if err != nil || len(win) != 5 {
+		t.Fatalf("first window: %d events, err %v", len(win), err)
+	}
+	_, err1 := src.NextWindow()
+	if err1 == nil || err1 == io.EOF {
+		t.Fatalf("corrupt tail yielded err %v, want decode error", err1)
+	}
+	for i := 0; i < 3; i++ {
+		win, err := src.NextWindow()
+		if err != err1 {
+			t.Fatalf("retry %d: window %v err %v, want the sticky %v", i, win, err, err1)
+		}
+	}
+}
+
+// TestStreamingSourceEOFSticky: exhaustion is terminal too — callers that
+// over-read past io.EOF keep getting io.EOF, never a re-read.
+func TestStreamingSourceEOFSticky(t *testing.T) {
+	tr := syntheticTrace(4, 3)
+	r, err := NewTraceReader(bytes.NewReader(encode(t, tr, binaryWriter)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewStreamingSource(r, 8)
+	if win, err := src.NextWindow(); err != nil || len(win) != 3 {
+		t.Fatalf("short final window: %d events, err %v", len(win), err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := src.NextWindow(); err != io.EOF {
+			t.Fatalf("post-exhaustion call %d: %v, want io.EOF", i, err)
+		}
+	}
+}
+
+// loopingRecords serves a binary header once, then cycles one pre-encoded
+// malloc record forever, so AllocsPerRun can measure a steady-state Next.
+type loopingRecords struct {
+	header []byte
+	body   []byte
+	pos    int
+}
+
+func (l *loopingRecords) Read(p []byte) (int, error) {
+	if len(l.header) > 0 {
+		n := copy(p, l.header)
+		l.header = l.header[n:]
+		return n, nil
+	}
+	if l.pos == len(l.body) {
+		l.pos = 0
+	}
+	n := copy(p, l.body[l.pos:])
+	l.pos += n
+	return n, nil
+}
+
+// TestBinaryNextZeroAlloc pins the decode hot loop at zero heap allocations
+// per record: the reader owns its payload buffer, so io.ReadFull cannot
+// force a per-record escape.
+func TestBinaryNextZeroAlloc(t *testing.T) {
+	header := []byte(TraceMagic)
+	header = binary.AppendUvarint(header, TraceVersion)
+	header = binary.AppendUvarint(header, 1) // seed
+	header = binary.AppendUvarint(header, 0) // empty name
+	payload := binary.AppendUvarint(nil, 4096)
+	body := append([]byte{EvMalloc}, binary.AppendUvarint(nil, uint64(len(payload)))...)
+	body = append(body, payload...)
+
+	r, err := NewBinaryTraceReader(&loopingRecords{header: header, body: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("BinaryTraceReader.Next allocates %.2f per record, want 0", allocs)
+	}
+}

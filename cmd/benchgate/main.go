@@ -69,6 +69,7 @@ const (
 	VerdictImproved        = "improved"
 	VerdictNsRegressed     = "REGRESSED(ns/op)"
 	VerdictAllocsRegressed = "REGRESSED(allocs/op)"
+	VerdictBothRegressed   = "REGRESSED(ns/op,allocs/op)"
 	VerdictMissing         = "MISSING"
 	VerdictNew             = "new"
 )
@@ -154,13 +155,20 @@ func Compare(base, fresh []benchfmt.Benchmark, opts Options) (deltas []Delta, fa
 			OldAllocs: old.AllocsPerOp, NewAllocs: now.AllocsPerOp,
 			Verdict: VerdictOK,
 		}
-		switch {
-		case old.HasAllocs && now.HasAllocs &&
-			now.AllocsPerOp > old.AllocsPerOp*(1+opts.AllocThreshold)+opts.AllocSlack:
-			d.Verdict, d.Fail = VerdictAllocsRegressed, true
-		case old.HasNs && now.HasNs &&
+		// Evaluate both regression checks independently so a benchmark
+		// that regressed in allocs/op AND ns/op reports both, not just
+		// whichever check happens to be listed first.
+		allocsRegressed := old.HasAllocs && now.HasAllocs &&
+			now.AllocsPerOp > old.AllocsPerOp*(1+opts.AllocThreshold)+opts.AllocSlack
+		nsRegressed := old.HasNs && now.HasNs &&
 			now.NsPerOp > old.NsPerOp*(1+opts.NsThreshold) &&
-			now.NsPerOp-old.NsPerOp >= opts.MinNsDelta:
+			now.NsPerOp-old.NsPerOp >= opts.MinNsDelta
+		switch {
+		case allocsRegressed && nsRegressed:
+			d.Verdict, d.Fail = VerdictBothRegressed, true
+		case allocsRegressed:
+			d.Verdict, d.Fail = VerdictAllocsRegressed, true
+		case nsRegressed:
 			d.Verdict, d.Fail = VerdictNsRegressed, true
 		case old.HasNs && now.HasNs && old.NsPerOp > 0 &&
 			now.NsPerOp < old.NsPerOp/(1+opts.NsThreshold):

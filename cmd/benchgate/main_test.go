@@ -97,6 +97,21 @@ func TestZeroAllocRatchet(t *testing.T) {
 	}
 }
 
+// TestDualRegressionReportsBoth: a benchmark that regressed in both
+// ns/op and allocs/op gets the combined verdict (and exactly one gate
+// failure), so the delta table does not under-report one axis.
+func TestDualRegressionReportsBoth(t *testing.T) {
+	base := mustParse(t, "BenchmarkBoth 1 10000000 ns/op 0 B/op 0 allocs/op")
+	fresh := mustParse(t, "BenchmarkBoth 1 20000000 ns/op 64 B/op 4 allocs/op")
+	deltas, failures := Compare(base, fresh, DefaultOptions())
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1: %+v", failures, deltas)
+	}
+	if d := verdictOf(t, deltas, "BenchmarkBoth"); d.Verdict != VerdictBothRegressed || !d.Fail {
+		t.Errorf("dual regression verdict = %+v, want %s", d, VerdictBothRegressed)
+	}
+}
+
 // TestAllocJitterWithinThreshold: sync.Pool/GC interaction can wobble alloc
 // counts slightly on big campaign benchmarks; within 10%+slack passes.
 func TestAllocJitterWithinThreshold(t *testing.T) {

@@ -158,9 +158,15 @@ func (bw *BinaryTraceWriter) WriteEvent(ev TraceEvent) error {
 	if bw.closed {
 		return fmt.Errorf("workload: write on closed trace writer")
 	}
-	// Validate before encoding: a negative ref must never reach
-	// PutUvarint, where uint64(ev.Ref) would wrap into a huge valid-looking
-	// value and poison the stream.
+	// Validate before encoding — unknown op first (so a bogus event is
+	// reported as such even when it also carries a bogus ref), then the
+	// ref: a negative ref must never reach PutUvarint, where uint64(ev.Ref)
+	// would wrap into a huge valid-looking value and poison the stream.
+	switch ev.Op {
+	case EvMalloc, EvPlant, EvFree:
+	default:
+		return fmt.Errorf("workload: encoding unknown op %q", ev.Op)
+	}
 	if ev.Ref < 0 && ev.Op != EvMalloc {
 		return fmt.Errorf("workload: encoding negative ref %d", ev.Ref)
 	}
@@ -174,8 +180,6 @@ func (bw *BinaryTraceWriter) WriteEvent(ev TraceEvent) error {
 		n += binary.PutUvarint(payload[n:], ev.Size)
 	case EvFree:
 		n = binary.PutUvarint(payload[:], uint64(ev.Ref))
-	default:
-		return fmt.Errorf("workload: encoding unknown op %q", ev.Op)
 	}
 	if err := bw.record(ev.Op, payload[:n]); err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 // -workers-from (see docs/DEPLOYMENT.md).
 //
 //	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]
+//	                [-store mem:|dir:path|sqlite:path|blob:path]
 //	                [-worker] [-worker-urls url,url] [-workers-from file]
 //	                [-auth-token tok] [-worker-inflight N] [-pprof]
 func serveCmd(args []string) error {
@@ -30,6 +31,7 @@ func serveCmd(args []string) error {
 	workers := fs.Int("workers", 0, "default campaign worker-pool width (0 = GOMAXPROCS, or the fleet capacity when coordinating)")
 	traceDir := fs.String("tracedir", "", "trace-store directory (default: a temporary directory)")
 	stateDir := fs.String("statedir", "", "persistent state directory: campaigns, artifacts, and the job-result store survive restarts (default: in-memory)")
+	storeSpec := fs.String("store", "", "state store spec: mem:, dir:PATH, sqlite:PATH, or blob:PATH; sqlite:/blob: are shared — multiple coordinators and workers may point at one path (supersedes -statedir)")
 	worker := fs.Bool("worker", false, "worker mode: expose the internal job-execution API (POST /internal/jobs)")
 	workerURLs := fs.String("worker-urls", "", "coordinator mode: comma-separated worker base URLs to shard campaign jobs across")
 	workersFrom := fs.String("workers-from", "", "coordinator mode: file of worker base URLs, one per line ('#' comments)")
@@ -37,7 +39,7 @@ func serveCmd(args []string) error {
 	workerInflight := fs.Int("worker-inflight", 0, "max jobs dispatched concurrently per worker (0 = 4)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (profiling endpoints reveal heap contents; off by default)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]")
+		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir] [-store spec]")
 		fmt.Fprintln(os.Stderr, "                       [-worker] [-worker-urls url,url] [-workers-from file] [-auth-token tok] [-worker-inflight N] [-pprof]")
 		fs.PrintDefaults()
 	}
@@ -52,6 +54,8 @@ func serveCmd(args []string) error {
 		Workers:        *workers,
 		TraceDir:       *traceDir,
 		StateDir:       *stateDir,
+		Store:          *storeSpec,
+		LockStateDir:   true,
 		Worker:         *worker,
 		WorkerURLs:     urls,
 		AuthToken:      *authToken,
@@ -73,7 +77,10 @@ func serveCmd(args []string) error {
 	if *pprofFlag {
 		fmt.Printf("  profiling: /debug/pprof enabled\n")
 	}
-	if *stateDir != "" {
+	switch {
+	case *storeSpec != "":
+		fmt.Printf("  state store: %s\n", *storeSpec)
+	case *stateDir != "":
 		fmt.Printf("  state persisted under %s\n", *stateDir)
 	}
 	if *worker {
@@ -137,9 +144,10 @@ func campaignCmd(args []string) error {
 	csvOut := fs.String("csv", "", "write the CSV artifact to this file")
 	traceIn := fs.String("trace", "", "replay this trace file ('-' = stdin) instead of generating workloads")
 	stateDir := fs.String("statedir", "", "persistent job-result store: serve previously computed jobs from it, store new ones into it")
+	storeSpec := fs.String("store", "", "job-result store spec: mem:, dir:PATH, sqlite:PATH, or blob:PATH (supersedes -statedir)")
 	quiet := fs.Bool("q", false, "suppress per-job progress on stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cherivoke campaign [-workers N] [-statedir dir] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]")
+		fmt.Fprintln(os.Stderr, "usage: cherivoke campaign [-workers N] [-statedir dir] [-store spec] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]")
 		fmt.Fprintln(os.Stderr, "runs the default all-profiles campaign when no spec file is given")
 		fs.PrintDefaults()
 	}
@@ -198,15 +206,21 @@ func campaignCmd(args []string) error {
 	start := time.Now()
 	var res *campaign.Result
 	var stats engine.ResolveStats
-	if *stateDir != "" {
-		store, serr := engine.OpenDirStore(*stateDir, nil)
+	if *storeSpec != "" || *stateDir != "" {
+		sspec := *storeSpec
+		if sspec == "" {
+			sspec = "dir:" + *stateDir
+		}
+		store, shared, serr := engine.OpenStore(sspec, nil)
 		if serr != nil {
 			return serr
 		}
-		// SkipRecovery: the CLI is a secondary consumer of the state
-		// directory — it must not declare a serving process's live
-		// campaigns interrupted.
-		eng, serr := engine.New(store, engine.Options{SkipRecovery: true})
+		// SkipRecovery: the CLI is a secondary consumer of the store —
+		// it must not declare a serving process's live campaigns
+		// interrupted. Shared backends additionally run the lease
+		// protocol, so a CLI run and a fleet can resolve the same spec
+		// concurrently without duplicating a single job.
+		eng, serr := engine.New(store, engine.Options{SkipRecovery: true, Shared: shared})
 		if serr != nil {
 			return serr
 		}
@@ -236,7 +250,7 @@ func campaignCmd(args []string) error {
 
 	s := res.Summary
 	fmt.Printf("campaign done: %d jobs (%d failed) in %s\n", s.Jobs, s.Failed, elapsed.Round(time.Millisecond))
-	if *stateDir != "" {
+	if *stateDir != "" || *storeSpec != "" {
 		fmt.Printf("  result store: %d of %d jobs served from cache\n", stats.CacheHits, stats.Jobs)
 	}
 	fmt.Printf("  geomean runtime %.3f, max %.3f\n", s.GeomeanRuntime, s.MaxRuntime)

@@ -18,6 +18,7 @@ import (
 var auditedPackages = []string{
 	"internal/campaign",
 	"internal/engine",
+	"internal/engine/storetest",
 	"internal/obs",
 	"internal/revoke",
 	"internal/server",

@@ -1,0 +1,49 @@
+package engine_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/engine/storetest"
+)
+
+// The four built-in backends against the one conformance contract. A new
+// backend earns its place by adding a subtest here.
+
+func TestMemStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) engine.Store {
+		return engine.NewMemStore()
+	})
+}
+
+func TestDirStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) engine.Store {
+		s, err := engine.OpenDirStore(t.TempDir(), t.Logf)
+		if err != nil {
+			t.Fatalf("OpenDirStore: %v", err)
+		}
+		return s
+	})
+}
+
+func TestSQLiteStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) engine.Store {
+		s, err := engine.OpenSQLiteStore(filepath.Join(t.TempDir(), "store.db"), t.Logf)
+		if err != nil {
+			t.Fatalf("OpenSQLiteStore: %v", err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+func TestBlobStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) engine.Store {
+		s, err := engine.OpenBlobStore(t.TempDir(), t.Logf)
+		if err != nil {
+			t.Fatalf("OpenBlobStore: %v", err)
+		}
+		return s
+	})
+}

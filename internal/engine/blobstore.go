@@ -1,0 +1,324 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// BlobStore prefixes: an S3-style object layout, one JSON object per key.
+//
+//	<root>/campaigns/<id>    Campaign metadata
+//	<root>/results/<id>      finished Result artifacts
+//	<root>/jobs/<jobkey>     JobResults under their content hash
+//	<root>/leases/<jobkey>   live job leases
+//	<root>/.tmp/             spool area for in-flight uploads
+const (
+	blobCampaigns = "campaigns"
+	blobResults   = "results"
+	blobJobs      = "jobs"
+	blobLeases    = "leases"
+	blobTmp       = ".tmp"
+)
+
+// blobSteal counts lease steals within this process, making every steal's
+// scratch name unique without consulting the clock.
+var blobSteal atomic.Uint64
+
+// BlobStore is the shared blob-layout Store: a filesystem-rooted emulation
+// of an S3-style conditional-put object store, safe for writers in any
+// number of processes. Unconditional puts spool to .tmp and rename into
+// place (last writer wins, readers never see a torn object); conditional
+// creates link(2) the spooled object to its final name, which fails
+// atomically when the key exists — the conditional-put primitive an object
+// store would provide natively. Job leases are objects under leases/: a
+// fresh grant is a conditional create, a renewal rewrites the holder's own
+// object, and stealing an expired lease renames the stale object to a
+// unique scratch name first — rename succeeds for exactly one of N racing
+// stealers, so exactly one wins the subsequent create.
+type BlobStore struct {
+	root string
+	logf func(format string, args ...any)
+
+	// mu serialises campaign-record writes within this process, matching
+	// DirStore's stale-overwrite guard. Cross-process campaign writers are
+	// ordered by the engine's lease/CAS protocol, not by the store.
+	mu sync.Mutex
+}
+
+// OpenBlobStore opens (creating if needed) a blob store rooted at root.
+// logf receives corruption warnings; nil means the standard logger.
+func OpenBlobStore(root string, logf func(format string, args ...any)) (*BlobStore, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	for _, sub := range []string{blobCampaigns, blobResults, blobJobs, blobLeases, blobTmp} {
+		if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("engine: creating blob store: %w", err)
+		}
+	}
+	return &BlobStore{root: root, logf: logf}, nil
+}
+
+// Root returns the store's root directory.
+func (s *BlobStore) Root() string { return s.root }
+
+// putObject spools v's JSON encoding and renames it over prefix/key.
+func (s *BlobStore) putObject(prefix, key string, v any) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid record name %q", key)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp, err := spoolRecord(filepath.Join(s.root, blobTmp), b)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(s.root, prefix)
+	if err := os.Rename(tmp, filepath.Join(dir, key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: filing object: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// createObject spools v's JSON encoding and links it at prefix/key,
+// returning fs.ErrExist (unwrapped for the caller to translate) when the
+// key already exists.
+func (s *BlobStore) createObject(prefix, key string, v any) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid record name %q", key)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp, err := spoolRecord(filepath.Join(s.root, blobTmp), b)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	dir := filepath.Join(s.root, prefix)
+	if err := os.Link(tmp, filepath.Join(dir, key)); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return fs.ErrExist
+		}
+		return fmt.Errorf("engine: filing object: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// getObject reads prefix/key into v, mapping absence to ErrNotFound and
+// corruption to a logged warning plus ErrNotFound.
+func (s *BlobStore) getObject(prefix, key string, v any) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid record name %q", key)
+	}
+	path := filepath.Join(s.root, prefix, key)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	if err != nil {
+		return fmt.Errorf("engine: reading object: %w", err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		s.logf("engine: skipping corrupted object %s: %v", path, err)
+		return ErrNotFound
+	}
+	return nil
+}
+
+// PutCampaign implements Store.
+func (s *BlobStore) PutCampaign(c Campaign) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putObject(blobCampaigns, c.ID, c)
+}
+
+// CreateCampaign implements Store, via the conditional-create primitive:
+// link(2) fails atomically when the key exists, so creators racing from any
+// number of processes serialise on the filesystem and exactly one wins.
+func (s *BlobStore) CreateCampaign(c Campaign) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.createObject(blobCampaigns, c.ID, c)
+	if errors.Is(err, fs.ErrExist) {
+		return fmt.Errorf("%w: campaign %s already exists", ErrConflict, c.ID)
+	}
+	return err
+}
+
+// Campaign implements Store.
+func (s *BlobStore) Campaign(id string) (Campaign, error) {
+	var c Campaign
+	if err := s.getObject(blobCampaigns, id, &c); err != nil {
+		return Campaign{}, err
+	}
+	return c, nil
+}
+
+// Campaigns implements Store.
+func (s *BlobStore) Campaigns() ([]Campaign, error) {
+	dir := filepath.Join(s.root, blobCampaigns)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: listing campaigns: %w", err)
+	}
+	var out []Campaign
+	for _, e := range entries {
+		if !validRecordName(e.Name()) {
+			continue
+		}
+		var c Campaign
+		if err := s.getObject(blobCampaigns, e.Name(), &c); err != nil {
+			if err == ErrNotFound {
+				continue // corrupted or just-deleted object, already warned
+			}
+			return nil, err
+		}
+		if c.ID != e.Name() {
+			s.logf("engine: skipping mislabelled campaign object %s (claims id %q)", e.Name(), c.ID)
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// PutResult implements Store.
+func (s *BlobStore) PutResult(id string, res *campaign.Result) error {
+	return s.putObject(blobResults, id, res)
+}
+
+// Result implements Store.
+func (s *BlobStore) Result(id string) (*campaign.Result, error) {
+	var res campaign.Result
+	if err := s.getObject(blobResults, id, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PutJob implements Store. Concurrent writers of the same key race
+// benignly: both rename complete objects carrying identical bytes.
+func (s *BlobStore) PutJob(key string, jr campaign.JobResult) error {
+	return s.putObject(blobJobs, key, jr)
+}
+
+// Job implements Store.
+func (s *BlobStore) Job(key string) (campaign.JobResult, error) {
+	var jr campaign.JobResult
+	if err := s.getObject(blobJobs, key, &jr); err != nil {
+		return campaign.JobResult{}, err
+	}
+	return jr, nil
+}
+
+// AcquireJobLease implements Store. A fresh grant conditionally creates the
+// lease object; a renewal by the current holder rewrites it; an expired
+// lease is stolen by renaming the stale object away — exactly one of N
+// racing stealers wins the rename — before conditionally creating anew.
+func (s *BlobStore) AcquireJobLease(key, owner string, ttl time.Duration) error {
+	if err := checkLeaseArgs(key, owner, ttl); err != nil {
+		return err
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		now := time.Now()
+		grant := lease{Owner: owner, Expires: now.Add(ttl).UnixNano()}
+		var cur lease
+		err := s.getObject(blobLeases, key, &cur)
+		switch {
+		case err == ErrNotFound:
+			// No live lease object: try to be the one who creates it.
+			cerr := s.createObject(blobLeases, key, grant)
+			if errors.Is(cerr, fs.ErrExist) {
+				continue // lost the create race; re-read
+			}
+			return cerr
+		case err != nil:
+			return err
+		case cur.Owner == owner:
+			// Renewal: only the holder rewrites its own object.
+			return s.putObject(blobLeases, key, grant)
+		case cur.live(now):
+			return fmt.Errorf("%w: job %.12s leased by %s", ErrLeaseHeld, key, cur.Owner)
+		default:
+			// Expired: rename the stale object to a unique scratch name —
+			// one winner among racing stealers — then create afresh.
+			scratch := filepath.Join(s.root, blobTmp,
+				fmt.Sprintf("steal-%d-%d", os.Getpid(), blobSteal.Add(1)))
+			err := os.Rename(filepath.Join(s.root, blobLeases, key), scratch)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue // another stealer won; re-read
+				}
+				return fmt.Errorf("engine: stealing lease: %w", err)
+			}
+			os.Remove(scratch)
+			cerr := s.createObject(blobLeases, key, grant)
+			if errors.Is(cerr, fs.ErrExist) {
+				continue // another creator slipped in; re-read
+			}
+			return cerr
+		}
+	}
+	return fmt.Errorf("%w: job %.12s lease contested", ErrLeaseHeld, key)
+}
+
+// ReleaseJobLease implements Store: read, check ownership, remove. The
+// window between check and remove can in principle delete a lease stolen in
+// between — a benign race, since a steal only happens after this owner's
+// TTL already lapsed and every lease holder double-checks the job store
+// before executing.
+func (s *BlobStore) ReleaseJobLease(key, owner string) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid lease key %q", key)
+	}
+	var cur lease
+	err := s.getObject(blobLeases, key, &cur)
+	if err == ErrNotFound {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if cur.Owner != owner {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(s.root, blobLeases, key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("engine: releasing lease: %w", err)
+	}
+	return nil
+}
+
+// MaxSeq implements Store: the highest sequence any campaign or result
+// *object name* implies, whether or not the content parses.
+func (s *BlobStore) MaxSeq() (int, error) {
+	max := 0
+	for _, prefix := range []string{blobCampaigns, blobResults} {
+		entries, err := os.ReadDir(filepath.Join(s.root, prefix))
+		if err != nil {
+			return 0, fmt.Errorf("engine: listing %s: %w", prefix, err)
+		}
+		for _, e := range entries {
+			if seq, ok := seqFromID(e.Name()); ok && seq > max {
+				max = seq
+			}
+		}
+	}
+	return max, nil
+}

@@ -2,13 +2,16 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 )
@@ -26,12 +29,18 @@ const (
 )
 
 // DirStore is the disk-backed Store: every record is written atomically
-// (spool to a temp file in the destination directory, then rename), so a
-// crash never leaves a half-written record under a record name — at worst
-// it leaves an orphaned temp file, which opens ignore. Reads that hit a
-// corrupted record log a warning and treat it as absent rather than
-// failing: a damaged state directory degrades to recomputation, never to a
-// crash.
+// (spool to a temp file in the destination directory, fsync, rename, then
+// fsync the directory), so a crash never leaves a half-written record under
+// a record name and never loses an acknowledged one — at worst it leaves an
+// orphaned temp file, which opens ignore. Reads that hit a corrupted record
+// log a warning and treat it as absent rather than failing: a damaged state
+// directory degrades to recomputation, never to a crash.
+//
+// DirStore is a single-owner backend: its job leases live in process
+// memory, so two processes sharing one directory cannot coordinate through
+// them. The serving process takes an advisory Lock so a second unaware
+// owner fails loudly; SQLiteStore and BlobStore are the sanctioned shared
+// backends.
 type DirStore struct {
 	dir  string
 	logf func(format string, args ...any)
@@ -40,6 +49,14 @@ type DirStore struct {
 	// overwrite a newer state with an older one. Job and result writes
 	// need no ordering: each key is written with one value only.
 	mu sync.Mutex
+
+	// leaseMu guards leases, the in-process lease table.
+	leaseMu sync.Mutex
+	leases  map[string]lease
+
+	// lockMu guards lockFile, the advisory owner lock.
+	lockMu   sync.Mutex
+	lockFile *os.File
 }
 
 // OpenDirStore opens (creating if needed) a disk store rooted at dir. logf
@@ -53,32 +70,104 @@ func OpenDirStore(dir string, logf func(format string, args ...any)) (*DirStore,
 			return nil, fmt.Errorf("engine: creating state directory: %w", err)
 		}
 	}
-	return &DirStore{dir: dir, logf: logf}, nil
+	return &DirStore{dir: dir, logf: logf, leases: map[string]lease{}}, nil
 }
 
 // Dir returns the store's root directory.
 func (s *DirStore) Dir() string { return s.dir }
 
-// writeAtomic files data at dir/name via a same-directory temp file and
-// rename, so readers only ever see complete records.
+// Lock takes the store's exclusive advisory owner lock (<dir>/.lock),
+// failing immediately if another process holds it: two unaware owners of
+// one state directory would race campaign-record writes and each other's
+// recovery, so the serving process locks and a second one refuses to start.
+// Aware secondary consumers (the CLI resolving against a live server's job
+// store) do not lock. The lock dies with the process; Unlock releases it
+// sooner.
+func (s *DirStore) Lock() error {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	if s.lockFile != nil {
+		return nil
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: opening state-directory lock: %w", err)
+	}
+	ok, err := flockTryExclusive(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("engine: locking state directory %s: %w", s.dir, err)
+	}
+	if !ok {
+		f.Close()
+		return fmt.Errorf("engine: state directory %s is locked by another process (use a shared backend — sqlite: or blob: — for concurrent writers)", s.dir)
+	}
+	s.lockFile = f
+	return nil
+}
+
+// Unlock releases the advisory owner lock taken by Lock (a no-op when the
+// lock is not held).
+func (s *DirStore) Unlock() {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	if s.lockFile != nil {
+		_ = funlock(s.lockFile)
+		s.lockFile.Close()
+		s.lockFile = nil
+	}
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable: rename
+// alone orders the data, but only the directory sync guarantees the new
+// name survives a power cut.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeAtomic files data at dir/name via a same-directory temp file,
+// fsync, and rename, then syncs the directory — so readers only ever see
+// complete records and an acknowledged write survives a crash.
 func (s *DirStore) writeAtomic(sub, name string, data []byte) error {
 	dir := filepath.Join(s.dir, sub)
+	tmp, err := spoolRecord(dir, data)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: filing record: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// spoolRecord writes data to a fresh fsynced temp file in dir and returns
+// its path; on error the temp file is already cleaned up.
+func spoolRecord(dir string, data []byte) (string, error) {
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
-		return fmt.Errorf("engine: spooling record: %w", err)
+		return "", fmt.Errorf("engine: spooling record: %w", err)
 	}
 	_, err = tmp.Write(data)
+	if err == nil {
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
-	if err == nil {
-		err = os.Rename(tmp.Name(), filepath.Join(dir, name))
-	}
 	if err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: filing record: %w", err)
+		return "", fmt.Errorf("engine: spooling record: %w", err)
 	}
-	return nil
+	return tmp.Name(), nil
 }
 
 // readRecord unmarshals dir/sub/name into v, mapping absence to ErrNotFound
@@ -138,6 +227,78 @@ func (s *DirStore) PutCampaign(c Campaign) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.writeAtomic(campaignsDir, name, b)
+}
+
+// CreateCampaign implements Store: the record is spooled and then linked
+// into place — link(2) fails atomically when the name already exists, so
+// concurrent creators of one ID (two coordinators minting the same
+// sequence number against a shared directory) serialise on the filesystem
+// and exactly one wins.
+func (s *DirStore) CreateCampaign(c Campaign) error {
+	name, err := recordName(c.ID)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(s.dir, campaignsDir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := spoolRecord(dir, b)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	if err := os.Link(tmp, filepath.Join(dir, name)); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return fmt.Errorf("%w: campaign %s already exists", ErrConflict, c.ID)
+		}
+		return fmt.Errorf("engine: filing record: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// Campaign implements Store.
+func (s *DirStore) Campaign(id string) (Campaign, error) {
+	name, err := recordName(id)
+	if err != nil {
+		return Campaign{}, err
+	}
+	var c Campaign
+	if err := s.readRecord(campaignsDir, name, &c); err != nil {
+		return Campaign{}, err
+	}
+	return c, nil
+}
+
+// AcquireJobLease implements Store. DirStore's lease table lives in process
+// memory: it upholds the full contract for every engine inside one process,
+// which is the backend's sanctioned topology (the serving process owns the
+// directory exclusively — see Lock).
+func (s *DirStore) AcquireJobLease(key, owner string, ttl time.Duration) error {
+	if err := checkLeaseArgs(key, owner, ttl); err != nil {
+		return err
+	}
+	now := time.Now()
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	if cur, ok := s.leases[key]; ok && cur.live(now) && cur.Owner != owner {
+		return fmt.Errorf("%w: job %.12s leased by %s", ErrLeaseHeld, key, cur.Owner)
+	}
+	s.leases[key] = lease{Owner: owner, Expires: now.Add(ttl).UnixNano()}
+	return nil
+}
+
+// ReleaseJobLease implements Store.
+func (s *DirStore) ReleaseJobLease(key, owner string) error {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	if cur, ok := s.leases[key]; ok && cur.Owner == owner {
+		delete(s.leases, key)
+	}
+	return nil
 }
 
 // Campaigns implements Store: it scans the campaigns directory, skipping

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -85,6 +86,21 @@ type Options struct {
 	// must not declare a live campaign interrupted.
 	SkipRecovery bool
 
+	// Shared declares that other engines — in this process or others —
+	// write the same Store concurrently. It turns on the job-lease
+	// protocol (every execution runs under a store lease, so a job is
+	// computed at most once fleet-wide) and makes Get/List/Result consult
+	// the store for campaigns other engines submitted. Shared stores are
+	// normally opened with SkipRecovery: a peer's running campaign is
+	// live, not interrupted.
+	Shared bool
+
+	// LeaseTTL is the job-lease lifetime under Shared (0 = a 30s
+	// default). A holder heartbeats at a third of this; a lease idle past
+	// it is stolen, so it bounds how long a crashed engine's jobs stay
+	// blocked.
+	LeaseTTL time.Duration
+
 	// Metrics, when set, instruments the engine and everything it runs:
 	// submission/cache counters, store-operation latencies, and the
 	// campaign pool's own telemetry (the registry is threaded into every
@@ -101,6 +117,7 @@ type Engine struct {
 	store   Store
 	opts    Options
 	metrics engineMetrics
+	owner   string // fleet-unique lease owner identity
 
 	mu   sync.Mutex
 	seq  int
@@ -138,7 +155,10 @@ func New(store Store, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{store: store, opts: opts, metrics: newEngineMetrics(opts.Metrics), runs: make(map[string]*run, len(recs))}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = defaultLeaseTTL
+	}
+	e := &Engine{store: store, opts: opts, metrics: newEngineMetrics(opts.Metrics), owner: leaseOwnerID(), runs: make(map[string]*run, len(recs))}
 	// Resume the ID sequence past every record the store has evidence of
 	// — a corrupted (hence unlisted) record still fences off its ID, so
 	// its orphaned result artifact can never be served for a new
@@ -203,26 +223,46 @@ func (e *Engine) Submit(spec campaign.Spec, workers int) (Campaign, error) {
 		workers = e.opts.Workers
 	}
 
-	e.mu.Lock()
-	e.seq++
-	rec := Campaign{
-		ID:        fmt.Sprintf("c%06d", e.seq),
-		Seq:       e.seq,
-		Name:      spec.Name,
-		Spec:      spec,
-		Workers:   workers,
-		TraceHash: traceHash,
-		State:     StateRunning,
-		JobsTotal: len(jobs),
-		Created:   time.Now().UTC(),
-	}
-	e.mu.Unlock()
-
-	// Persist before publishing: a campaign that cannot be recorded is
-	// never listed, so no client can observe an ID that then vanishes.
-	// The consumed sequence number just becomes a gap.
-	if err := e.store.PutCampaign(rec); err != nil {
-		return Campaign{}, fmt.Errorf("%w: %v", ErrStore, err)
+	// Mint the ID by compare-and-swap: CreateCampaign refuses an ID that
+	// exists, so when another engine sharing the store minted the same
+	// sequence first, this engine observes the conflict, resynchronises
+	// its sequence from the store, and retries with the next one — two
+	// coordinators can never clobber each other's records. Persisting
+	// before publishing also means a campaign that cannot be recorded is
+	// never listed, so no client can observe an ID that then vanishes;
+	// a consumed sequence number just becomes a gap.
+	var rec Campaign
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		e.seq++
+		rec = Campaign{
+			ID:        fmt.Sprintf("c%06d", e.seq),
+			Seq:       e.seq,
+			Name:      spec.Name,
+			Spec:      spec,
+			Workers:   workers,
+			TraceHash: traceHash,
+			State:     StateRunning,
+			JobsTotal: len(jobs),
+			Created:   time.Now().UTC(),
+		}
+		e.mu.Unlock()
+		err := e.store.CreateCampaign(rec)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrConflict) || attempt >= 100 {
+			return Campaign{}, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+		max, merr := e.store.MaxSeq()
+		if merr != nil {
+			return Campaign{}, fmt.Errorf("%w: %v", ErrStore, merr)
+		}
+		e.mu.Lock()
+		if max > e.seq {
+			e.seq = max
+		}
+		e.mu.Unlock()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &run{rec: rec, cancel: cancel, subs: map[chan Event]struct{}{}}
@@ -334,10 +374,19 @@ func (e *Engine) run(id string) *run {
 	return e.runs[id]
 }
 
-// Get returns a campaign's current record snapshot.
+// Get returns a campaign's current record snapshot. Under Shared, an ID
+// this engine does not hold is looked up in the store, so either
+// coordinator sharing a store answers for any campaign — live local runs
+// stay authoritative because the local record is always at least as fresh
+// as the stored one.
 func (e *Engine) Get(id string) (Campaign, bool) {
 	r := e.run(id)
 	if r == nil {
+		if e.opts.Shared {
+			if rec, err := e.store.Campaign(id); err == nil {
+				return rec, true
+			}
+		}
 		return Campaign{}, false
 	}
 	r.mu.Lock()
@@ -346,7 +395,9 @@ func (e *Engine) Get(id string) (Campaign, bool) {
 }
 
 // List returns every campaign's record, sorted by submission sequence — a
-// stable order for repeated polls, across restarts included.
+// stable order for repeated polls, across restarts included. Under Shared
+// the listing merges in campaigns other engines submitted to the store,
+// with this engine's own live records taking precedence.
 func (e *Engine) List() []Campaign {
 	e.mu.Lock()
 	rs := make([]*run, 0, len(e.runs))
@@ -355,10 +406,21 @@ func (e *Engine) List() []Campaign {
 	}
 	e.mu.Unlock()
 	out := make([]Campaign, 0, len(rs))
+	local := make(map[string]struct{}, len(rs))
 	for _, r := range rs {
 		r.mu.Lock()
 		out = append(out, r.rec)
+		local[r.rec.ID] = struct{}{}
 		r.mu.Unlock()
+	}
+	if e.opts.Shared {
+		if recs, err := e.store.Campaigns(); err == nil {
+			for _, rec := range recs {
+				if _, ok := local[rec.ID]; !ok {
+					out = append(out, rec)
+				}
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
@@ -366,12 +428,31 @@ func (e *Engine) List() []Campaign {
 
 // Result returns a campaign's stored artifact; ErrNotFound covers both an
 // unknown ID and a campaign without a result (still running, cancelled, or
-// failed before completion).
+// failed before completion). Under Shared the ID need not be local: a
+// finished sibling's artifact is served from the store, bytes identical.
 func (e *Engine) Result(id string) (*campaign.Result, error) {
-	if e.run(id) == nil {
+	if e.run(id) == nil && !e.opts.Shared {
 		return nil, ErrNotFound
 	}
 	return e.store.Result(id)
+}
+
+// LookupJob returns the job result stored under key, if any — the worker
+// read-through seam: a worker consults its store before executing, so a
+// job a sibling already finished anywhere in the fleet is served, not
+// recomputed.
+func (e *Engine) LookupJob(key string) (campaign.JobResult, bool) {
+	jr, err := e.store.Job(key)
+	if err != nil {
+		return campaign.JobResult{}, false
+	}
+	return jr, true
+}
+
+// SaveJob stores a completed job's result under its content key. A failed
+// put only costs a future recomputation, so errors are not surfaced.
+func (e *Engine) SaveJob(key string, jr campaign.JobResult) {
+	_ = e.store.PutJob(key, jr)
 }
 
 // Cancel requests cancellation of a running campaign; it reports whether
@@ -414,12 +495,23 @@ func (e *Engine) Subscribe(id string) (ch <-chan Event, unsubscribe func(), live
 
 // jobRunner adapts the engine's Runner — if one is configured — to the
 // campaign pool's per-job seam, pinning the campaign's resolved trace hash
-// into every job's key. Nil (the common case) keeps execution in-process.
+// into every job's key. Nil (the single-node, in-process case) keeps
+// execution inside campaign's own pool. Under Shared every execution path —
+// dispatched or local — is wrapped in the store's job-lease protocol, so
+// engines racing the same job key execute it at most once between them.
 func (e *Engine) jobRunner(traceHash string) campaign.JobRunner {
-	if e.opts.Runner == nil {
-		return nil
+	runner := e.opts.Runner
+	if !e.opts.Shared {
+		if runner == nil {
+			return nil
+		}
+		return &jobDispatch{runner: runner, traceHash: traceHash, m: &e.metrics}
 	}
-	return &jobDispatch{runner: e.opts.Runner, traceHash: traceHash, m: &e.metrics}
+	if runner == nil {
+		runner = &countedLocalRunner{local: &LocalRunner{Traces: e.opts.Traces}, m: &e.metrics}
+	}
+	leased := &leaseRunner{inner: runner, store: e.store, owner: e.owner, ttl: e.opts.LeaseTTL, m: &e.metrics}
+	return &jobDispatch{runner: leased, traceHash: traceHash, m: &e.metrics}
 }
 
 // cache builds the one-campaign JobCache view of the store.

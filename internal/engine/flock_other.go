@@ -1,0 +1,24 @@
+//go:build !unix
+
+package engine
+
+import "os"
+
+// flockSupported reports whether advisory file locks actually exclude other
+// processes on this platform; see flock_unix.go. On platforms without
+// flock(2) the helpers degrade to no-ops: a single process stays correct
+// (the stores' own mutexes serialise it), but cross-process exclusion is
+// not enforced.
+const flockSupported = false
+
+// flockExclusive is a no-op on platforms without flock(2).
+func flockExclusive(*os.File) error { return nil }
+
+// flockShared is a no-op on platforms without flock(2).
+func flockShared(*os.File) error { return nil }
+
+// flockTryExclusive always reports success on platforms without flock(2).
+func flockTryExclusive(*os.File) (bool, error) { return true, nil }
+
+// funlock is a no-op on platforms without flock(2).
+func funlock(*os.File) error { return nil }

@@ -1,0 +1,39 @@
+//go:build unix
+
+package engine
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockSupported reports whether advisory file locks actually exclude other
+// processes on this platform. Where they do not, the shared backends still
+// serialise writers within one process via their own mutexes, but cannot
+// guard the file against foreign processes.
+const flockSupported = true
+
+// flockExclusive blocks until an exclusive advisory lock on f is held.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+// flockShared blocks until a shared advisory lock on f is held.
+func flockShared(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_SH)
+}
+
+// flockTryExclusive attempts an exclusive advisory lock on f without
+// blocking; it reports whether the lock was acquired.
+func flockTryExclusive(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// funlock releases any advisory lock held on f.
+func funlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// defaultLeaseTTL is the job-lease lifetime when Options.LeaseTTL is zero:
+// long enough that a healthy holder's ttl/3 heartbeat never lets it lapse,
+// short enough that a crashed holder's jobs are stolen promptly.
+const defaultLeaseTTL = 30 * time.Second
+
+// leasePollInterval is how often a runner blocked on a sibling's lease
+// re-checks the job store and the lease.
+const leasePollInterval = 25 * time.Millisecond
+
+// leaseOwnerID mints a fleet-unique lease owner identity for one engine:
+// the PID disambiguates processes on one host, the random suffix
+// disambiguates hosts and engine instances within a process.
+func leaseOwnerID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion never happens on the platforms we run on;
+		// degrade to PID-only rather than fail engine construction.
+		return fmt.Sprintf("pid%d", os.Getpid())
+	}
+	return fmt.Sprintf("pid%d-%s", os.Getpid(), hex.EncodeToString(b[:]))
+}
+
+// leaseRunner wraps a Runner with the store's job-lease protocol, making
+// execution at-most-once across every engine sharing the store. The
+// at-most-once argument:
+//
+//  1. A job only executes while its executor holds the lease, and the lease
+//     admits one live owner at a time.
+//  2. The result is stored (PutJob) before the lease is released, so when a
+//     waiting sibling finally acquires the lease, its double-check of the
+//     job store finds the result and it does not execute.
+//  3. A lease is only stolen after its TTL lapses, and a healthy holder
+//     renews at ttl/3 — so a steal implies the holder crashed or stalled
+//     beyond the TTL, the one case where re-execution is the intended
+//     outcome (results are deterministic, so even that race is benign for
+//     artifact bytes; it costs duplicate work only).
+type leaseRunner struct {
+	inner Runner
+	store Store
+	owner string
+	ttl   time.Duration
+	m     *engineMetrics
+}
+
+// RunJob implements Runner.
+func (l *leaseRunner) RunJob(ctx context.Context, key string, spec campaign.Spec, job campaign.Job) (campaign.JobResult, error) {
+	// A sibling may have published the result since the pool's cache
+	// lookup missed.
+	if jr, err := l.store.Job(key); err == nil {
+		l.m.leaseServed.Inc()
+		return jr, nil
+	}
+
+	// Acquire the lease, waiting out a live holder. While waiting, watch
+	// the job store: the normal way a wait ends is the holder publishing.
+	waited := false
+	for {
+		err := l.store.AcquireJobLease(key, l.owner, l.ttl)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrLeaseHeld) {
+			return campaign.JobResult{}, fmt.Errorf("%w: acquiring job lease: %v", ErrStore, err)
+		}
+		if !waited {
+			waited = true
+			l.m.leaseWaits.Inc()
+		}
+		select {
+		case <-ctx.Done():
+			return campaign.JobResult{}, ctx.Err()
+		case <-time.After(leasePollInterval):
+		}
+		if jr, err := l.store.Job(key); err == nil {
+			l.m.leaseServed.Inc()
+			return jr, nil
+		}
+	}
+	l.m.leaseAcquired.Inc()
+
+	// Double-check under the lease: if the previous holder published
+	// before releasing (the protocol's write order), serve its result.
+	if jr, err := l.store.Job(key); err == nil {
+		_ = l.store.ReleaseJobLease(key, l.owner)
+		l.m.leaseServed.Inc()
+		return jr, nil
+	}
+
+	// Heartbeat for the duration of the execution so a long job outlives
+	// its TTL.
+	hbDone := make(chan struct{})
+	hbStopped := make(chan struct{})
+	go func() {
+		defer close(hbStopped)
+		t := time.NewTicker(l.ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-t.C:
+				_ = l.store.AcquireJobLease(key, l.owner, l.ttl)
+			}
+		}
+	}()
+
+	jr, err := l.inner.RunJob(ctx, key, spec, job)
+	close(hbDone)
+	<-hbStopped
+
+	// Publish before releasing — the order the at-most-once argument
+	// rests on. A failed put keeps the result (the pool's own cache-store
+	// retries it) but still releases, so a sibling is never deadlocked on
+	// a dead lease.
+	if err == nil {
+		_ = l.store.PutJob(key, jr)
+	}
+	_ = l.store.ReleaseJobLease(key, l.owner)
+	return jr, err
+}
+
+// countedLocalRunner is LocalRunner plus the pool's executed-jobs counter:
+// when the engine wraps local execution in a leaseRunner, the campaign pool
+// sees a configured Runner and stops counting executions itself, so the
+// runner that actually executes must count.
+type countedLocalRunner struct {
+	local *LocalRunner
+	m     *engineMetrics
+}
+
+// RunJob implements Runner.
+func (c *countedLocalRunner) RunJob(ctx context.Context, key string, spec campaign.Spec, job campaign.Job) (campaign.JobResult, error) {
+	jr, err := c.local.RunJob(ctx, key, spec, job)
+	if err == nil {
+		c.m.poolExec.Inc()
+	}
+	return jr, err
+}

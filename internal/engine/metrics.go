@@ -15,11 +15,15 @@ var storeOpBuckets = obs.ExpBuckets(0.0001, 2, 14)
 // engineMetrics holds the engine's instruments; the zero value is the
 // disabled form (obs instruments no-op on nil receivers).
 type engineMetrics struct {
-	submits     *obs.Counter
-	active      *obs.Gauge
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	jobKeys     *obs.Counter
+	submits       *obs.Counter
+	active        *obs.Gauge
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	jobKeys       *obs.Counter
+	leaseAcquired *obs.Counter
+	leaseWaits    *obs.Counter
+	leaseServed   *obs.Counter
+	poolExec      *obs.Counter
 }
 
 // newEngineMetrics materialises the engine's instruments against r (all
@@ -34,6 +38,15 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		cacheHits:   r.Counter("cherivoke_engine_cache_hits_total", "Jobs served from the job-result store without execution."),
 		cacheMisses: r.Counter("cherivoke_engine_cache_misses_total", "Job-result store lookups that found nothing."),
 		jobKeys:     r.Counter("cherivoke_engine_jobkeys_total", "JobKey content-hash computations."),
+		leaseAcquired: r.Counter("cherivoke_engine_lease_acquired_total",
+			"Job leases acquired by this engine."),
+		leaseWaits: r.Counter("cherivoke_engine_lease_waits_total",
+			"Jobs that waited on another engine's live lease."),
+		leaseServed: r.Counter("cherivoke_engine_lease_served_total",
+			"Jobs served from the shared store instead of executing, because a sibling engine computed them."),
+		poolExec: r.CounterVec(obs.MetricJobsExecuted,
+			"Jobs executed in this process, by execution path.",
+			obs.MetricJobsExecutedLabel).With("pool"),
 	}
 }
 
@@ -114,6 +127,40 @@ func (t *timedStore) PutCampaign(c Campaign) error {
 	start := time.Now()
 	err := t.inner.PutCampaign(c)
 	t.observe("put_campaign", start, err, false)
+	return err
+}
+
+// CreateCampaign implements Store. A lost creation race is the CAS working,
+// not the store failing, so ErrConflict stays out of the error counter.
+func (t *timedStore) CreateCampaign(c Campaign) error {
+	start := time.Now()
+	err := t.inner.CreateCampaign(c)
+	t.observe("create_campaign", start, err, errors.Is(err, ErrConflict))
+	return err
+}
+
+// Campaign implements Store.
+func (t *timedStore) Campaign(id string) (Campaign, error) {
+	start := time.Now()
+	c, err := t.inner.Campaign(id)
+	t.observe("get_campaign", start, err, errors.Is(err, ErrNotFound))
+	return c, err
+}
+
+// AcquireJobLease implements Store. A held lease is the protocol working,
+// not the store failing, so ErrLeaseHeld stays out of the error counter.
+func (t *timedStore) AcquireJobLease(key, owner string, ttl time.Duration) error {
+	start := time.Now()
+	err := t.inner.AcquireJobLease(key, owner, ttl)
+	t.observe("acquire_lease", start, err, errors.Is(err, ErrLeaseHeld))
+	return err
+}
+
+// ReleaseJobLease implements Store.
+func (t *timedStore) ReleaseJobLease(key, owner string) error {
+	start := time.Now()
+	err := t.inner.ReleaseJobLease(key, owner)
+	t.observe("release_lease", start, err, false)
 	return err
 }
 

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpenStore opens the Store a -store spec names and reports whether it is a
+// shared backend (one other processes may be writing concurrently):
+//
+//	mem:           in-memory, nothing survives the process
+//	dir:PATH       single-owner state directory (DirStore)
+//	sqlite:PATH    shared single-file store (SQLiteStore)
+//	blob:PATH      shared blob-layout store (BlobStore)
+//	PATH           shorthand for dir:PATH, matching the old -statedir flag
+//
+// logf receives corruption warnings; nil means the standard logger.
+func OpenStore(spec string, logf func(format string, args ...any)) (Store, bool, error) {
+	scheme, path, ok := strings.Cut(spec, ":")
+	if !ok {
+		scheme, path = "dir", spec
+	}
+	switch scheme {
+	case "mem":
+		if path != "" {
+			return nil, false, fmt.Errorf("engine: mem: store takes no path (got %q)", path)
+		}
+		return NewMemStore(), false, nil
+	case "dir":
+		if path == "" {
+			return nil, false, fmt.Errorf("engine: store spec %q has an empty path", spec)
+		}
+		s, err := OpenDirStore(path, logf)
+		return s, false, err
+	case "sqlite":
+		if path == "" {
+			return nil, false, fmt.Errorf("engine: store spec %q has an empty path", spec)
+		}
+		s, err := OpenSQLiteStore(path, logf)
+		return s, true, err
+	case "blob":
+		if path == "" {
+			return nil, false, fmt.Errorf("engine: store spec %q has an empty path", spec)
+		}
+		s, err := OpenBlobStore(path, logf)
+		return s, true, err
+	default:
+		// "state/prod:x" or "./st:ate" are paths that happen to contain a
+		// colon, not schemes: anything with a separator before the colon
+		// is treated as a dir path whole.
+		if strings.ContainsAny(scheme, "/.") {
+			s, err := OpenDirStore(spec, logf)
+			return s, false, err
+		}
+		return nil, false, fmt.Errorf("engine: unknown store scheme %q (want mem:, dir:, sqlite:, or blob:)", scheme)
+	}
+}

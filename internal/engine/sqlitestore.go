@@ -1,0 +1,544 @@
+package engine
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// SQLiteStore file format. The container has no SQL driver and the project
+// vendors no dependencies, so "sqlite:" is served by a dependency-free
+// single-file store with the properties the topology actually needs from
+// SQLite: one schema-versioned file on a shared mount, WAL-style crash
+// recovery (a torn tail is detected by checksum and rolled back on the next
+// open or write), and multi-process safety via advisory file locks. The
+// format is an append-only record log:
+//
+//	header:  magic "CVK1" | schema uint32 (little-endian)
+//	record:  kind byte | uvarint keylen | key | uvarint vallen | value |
+//	         crc32c uint32 over everything before it in the record
+//
+// Record kinds are campaign, result, job, and lease; the latest record for
+// a (kind, key) pair wins, and a lease record with an empty owner is a
+// release. The log is never rewritten in place, so concurrent handles only
+// ever contend on where the tail is — which the per-operation flock
+// serialises.
+const (
+	sqliteMagic  = "CVK1"
+	sqliteSchema = uint32(1)
+
+	recCampaign = byte(1)
+	recResult   = byte(2)
+	recJob      = byte(3)
+	recLease    = byte(4)
+)
+
+// sqliteMaxRecord bounds one record's key+value size — far above any real
+// record, low enough that a corrupted length prefix cannot make a reader
+// attempt a multi-gigabyte allocation.
+const sqliteMaxRecord = 64 << 20
+
+// SQLiteStore is the shared single-file Store. Every handle — in this
+// process or another — keeps an in-memory table of the log's latest state
+// and catches up by scanning the log's unread tail before each operation,
+// under a shared or exclusive advisory lock on the file. Writes append
+// under the exclusive lock, fsync before releasing it, and first truncate
+// any torn tail a crashed writer left (the WAL-replay step), so an
+// acknowledged write is durable and a torn one is rolled back — never
+// served. The log is append-only and is not compacted; for the record
+// volumes the engine writes (one campaign record per state transition, one
+// result, one record per job) growth is modest, and a fresh file starts a
+// new log.
+type SQLiteStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	logf func(format string, args ...any)
+
+	// scanned is the log offset up to which tables below reflect the file.
+	scanned   int64
+	campaigns map[string][]byte
+	results   map[string][]byte
+	jobs      map[string][]byte
+	leases    map[string]lease
+}
+
+// OpenSQLiteStore opens (creating if needed) the shared single-file store
+// at path. logf receives corruption warnings; nil means the standard
+// logger.
+func OpenSQLiteStore(path string, logf func(format string, args ...any)) (*SQLiteStore, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: opening store file: %w", err)
+	}
+	s := &SQLiteStore{
+		f:         f,
+		path:      path,
+		logf:      logf,
+		campaigns: map[string][]byte{},
+		results:   map[string][]byte{},
+		jobs:      map[string][]byte{},
+		leases:    map[string]lease{},
+	}
+	if err := s.initHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Path returns the store's file path.
+func (s *SQLiteStore) Path() string { return s.path }
+
+// Close releases the store's file handle. Operations after Close fail.
+func (s *SQLiteStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// initHeader writes the file header if the file is empty, or validates it
+// otherwise, under an exclusive lock so two processes creating the same
+// file serialise.
+func (s *SQLiteStore) initHeader() error {
+	if err := flockExclusive(s.f); err != nil {
+		return fmt.Errorf("engine: locking store file: %w", err)
+	}
+	defer funlock(s.f)
+	st, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("engine: store file: %w", err)
+	}
+	if st.Size() == 0 {
+		var hdr [8]byte
+		copy(hdr[:4], sqliteMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], sqliteSchema)
+		if _, err := s.f.WriteAt(hdr[:], 0); err != nil {
+			return fmt.Errorf("engine: writing store header: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("engine: writing store header: %w", err)
+		}
+		s.scanned = int64(len(hdr))
+		return nil
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, 8), hdr[:]); err != nil {
+		return fmt.Errorf("engine: %s is not a cherivoke store file: %w", s.path, err)
+	}
+	if string(hdr[:4]) != sqliteMagic {
+		return fmt.Errorf("engine: %s is not a cherivoke store file (bad magic)", s.path)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != sqliteSchema {
+		return fmt.Errorf("engine: %s has store schema %d, this binary speaks %d", s.path, got, sqliteSchema)
+	}
+	s.scanned = int64(len(hdr))
+	return nil
+}
+
+// appendRecord encodes one record into buf-appendable form.
+func appendRecord(dst []byte, kind byte, key string, val []byte) []byte {
+	start := len(dst)
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(val)))
+	dst = append(dst, val...)
+	sum := crc32.Checksum(dst[start:], crc32.MakeTable(crc32.Castagnoli))
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// apply folds one decoded record into the in-memory tables.
+func (s *SQLiteStore) apply(kind byte, key string, val []byte) {
+	switch kind {
+	case recCampaign:
+		s.campaigns[key] = append([]byte(nil), val...)
+	case recResult:
+		s.results[key] = append([]byte(nil), val...)
+	case recJob:
+		s.jobs[key] = append([]byte(nil), val...)
+	case recLease:
+		var l lease
+		if err := json.Unmarshal(val, &l); err != nil {
+			s.logf("engine: skipping corrupted lease record for %q: %v", key, err)
+			return
+		}
+		if l.Owner == "" {
+			delete(s.leases, key)
+		} else {
+			s.leases[key] = l
+		}
+	default:
+		s.logf("engine: skipping record of unknown kind %d", kind)
+	}
+}
+
+// catchUp scans the log from s.scanned to EOF, folding every complete,
+// checksum-valid record into the tables. A torn or corrupt tail stops the
+// scan: s.scanned is left at the last good boundary, and tornAt reports
+// that offset so a writer (holding the exclusive lock) can truncate the
+// tail away — the crash-recovery "WAL replay". Callers must hold at least
+// a shared flock on s.f.
+func (s *SQLiteStore) catchUp() (tornAt int64, torn bool, err error) {
+	st, err := s.f.Stat()
+	if err != nil {
+		return 0, false, fmt.Errorf("engine: store file: %w", err)
+	}
+	size := st.Size()
+	if size <= s.scanned {
+		return 0, false, nil
+	}
+	base := s.scanned
+	r := io.NewSectionReader(s.f, base, size-base)
+	br := &countingByteReader{r: r}
+	for {
+		recStart := base + br.n
+		kind, key, val, ok, err := readOneRecord(br)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			if recStart < size {
+				return recStart, true, nil
+			}
+			return 0, false, nil
+		}
+		s.apply(kind, key, val)
+		s.scanned = base + br.n
+	}
+}
+
+// countingByteReader adapts an io.Reader into the ByteReader binary.Uvarint
+// needs while tracking how many bytes were consumed.
+type countingByteReader struct {
+	r   io.Reader
+	n   int64
+	buf [1]byte
+}
+
+// ReadByte implements io.ByteReader.
+func (c *countingByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(c.r, c.buf[:]); err != nil {
+		return 0, err
+	}
+	c.n++
+	return c.buf[0], nil
+}
+
+// Read implements io.Reader.
+func (c *countingByteReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readOneRecord decodes one record from br. ok is false — with a nil
+// error — when the remaining bytes do not form a complete valid record:
+// a torn tail, not a failure.
+func readOneRecord(br *countingByteReader) (kind byte, key string, val []byte, ok bool, err error) {
+	kind, rerr := br.ReadByte()
+	if rerr != nil {
+		return 0, "", nil, false, nil
+	}
+	sum := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	sum.Write([]byte{kind})
+	keyLen, rerr := readUvarint(br, sum)
+	if rerr != nil || keyLen > sqliteMaxRecord {
+		return 0, "", nil, false, nil
+	}
+	keyBuf := make([]byte, keyLen)
+	if _, rerr := io.ReadFull(br, keyBuf); rerr != nil {
+		return 0, "", nil, false, nil
+	}
+	sum.Write(keyBuf)
+	valLen, rerr := readUvarint(br, sum)
+	if rerr != nil || valLen > sqliteMaxRecord {
+		return 0, "", nil, false, nil
+	}
+	val = make([]byte, valLen)
+	if _, rerr := io.ReadFull(br, val); rerr != nil {
+		return 0, "", nil, false, nil
+	}
+	sum.Write(val)
+	var crcBuf [4]byte
+	if _, rerr := io.ReadFull(br, crcBuf[:]); rerr != nil {
+		return 0, "", nil, false, nil
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != sum.Sum32() {
+		return 0, "", nil, false, nil
+	}
+	return kind, string(keyBuf), val, true, nil
+}
+
+// readUvarint reads a uvarint from br, feeding the consumed bytes into sum.
+func readUvarint(br *countingByteReader, sum io.Writer) (uint64, error) {
+	var x uint64
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		sum.Write([]byte{b})
+		if b < 0x80 {
+			return x | uint64(b)<<shift, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, fmt.Errorf("engine: uvarint overflow")
+}
+
+// readView takes the shared lock, catches the tables up with the log, runs
+// fn over them, and releases. A torn tail observed under the shared lock is
+// simply not folded in — the next writer truncates it.
+func (s *SQLiteStore) readView(fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := flockShared(s.f); err != nil {
+		return fmt.Errorf("%w: locking %s: %v", ErrStore, s.path, err)
+	}
+	defer funlock(s.f)
+	if _, _, err := s.catchUp(); err != nil {
+		return fmt.Errorf("%w: reading %s: %v", ErrStore, s.path, err)
+	}
+	return fn()
+}
+
+// writeTxn takes the exclusive lock, catches up (truncating any torn tail a
+// crashed writer left), runs fn to decide what to append — fn returning a
+// nil record set means "append nothing" — then appends, fsyncs, and folds
+// the new records in. fn runs with the tables current and the file locked,
+// so read-modify-write sequences (conditional create, lease acquire) are
+// atomic across processes.
+func (s *SQLiteStore) writeTxn(fn func() ([]byte, error)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := flockExclusive(s.f); err != nil {
+		return fmt.Errorf("%w: locking %s: %v", ErrStore, s.path, err)
+	}
+	defer funlock(s.f)
+	tornAt, torn, err := s.catchUp()
+	if err != nil {
+		return fmt.Errorf("%w: reading %s: %v", ErrStore, s.path, err)
+	}
+	if torn {
+		s.logf("engine: %s: truncating torn record tail at offset %d", s.path, tornAt)
+		if err := s.f.Truncate(tornAt); err != nil {
+			return fmt.Errorf("%w: truncating torn tail of %s: %v", ErrStore, s.path, err)
+		}
+	}
+	buf, err := fn()
+	if err != nil || len(buf) == 0 {
+		return err
+	}
+	if _, err := s.f.WriteAt(buf, s.scanned); err != nil {
+		return fmt.Errorf("%w: appending to %s: %v", ErrStore, s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing %s: %v", ErrStore, s.path, err)
+	}
+	// Re-fold what was just written so the tables and scanned offset agree
+	// with the file.
+	if _, _, err := s.catchUp(); err != nil {
+		return fmt.Errorf("%w: reading back %s: %v", ErrStore, s.path, err)
+	}
+	return nil
+}
+
+// putRecord validates, marshals, and appends one record.
+func (s *SQLiteStore) putRecord(kind byte, key string, v any) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid record name %q", key)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return s.writeTxn(func() ([]byte, error) {
+		return appendRecord(nil, kind, key, b), nil
+	})
+}
+
+// getRecord reads the latest value for (table, key) into v.
+func (s *SQLiteStore) getRecord(table func() map[string][]byte, key string, v any) error {
+	var raw []byte
+	err := s.readView(func() error {
+		b, ok := table()[key]
+		if !ok {
+			return ErrNotFound
+		}
+		raw = append([]byte(nil), b...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		s.logf("engine: skipping corrupted record %q in %s: %v", key, s.path, err)
+		return ErrNotFound
+	}
+	return nil
+}
+
+// PutCampaign implements Store.
+func (s *SQLiteStore) PutCampaign(c Campaign) error {
+	return s.putRecord(recCampaign, c.ID, c)
+}
+
+// CreateCampaign implements Store: the existence check and the append run
+// under one exclusive file lock, so creators racing from different
+// processes serialise on the file and exactly one wins.
+func (s *SQLiteStore) CreateCampaign(c Campaign) error {
+	if !validRecordName(c.ID) {
+		return fmt.Errorf("engine: invalid record name %q", c.ID)
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	return s.writeTxn(func() ([]byte, error) {
+		if _, ok := s.campaigns[c.ID]; ok {
+			return nil, fmt.Errorf("%w: campaign %s already exists", ErrConflict, c.ID)
+		}
+		return appendRecord(nil, recCampaign, c.ID, b), nil
+	})
+}
+
+// Campaign implements Store.
+func (s *SQLiteStore) Campaign(id string) (Campaign, error) {
+	var c Campaign
+	if err := s.getRecord(func() map[string][]byte { return s.campaigns }, id, &c); err != nil {
+		return Campaign{}, err
+	}
+	return c, nil
+}
+
+// Campaigns implements Store.
+func (s *SQLiteStore) Campaigns() ([]Campaign, error) {
+	var encoded [][]byte
+	err := s.readView(func() error {
+		for _, b := range s.campaigns {
+			encoded = append(encoded, append([]byte(nil), b...))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Campaign, 0, len(encoded))
+	for _, b := range encoded {
+		var c Campaign
+		if err := json.Unmarshal(b, &c); err != nil {
+			s.logf("engine: skipping corrupted campaign record in %s: %v", s.path, err)
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// PutResult implements Store.
+func (s *SQLiteStore) PutResult(id string, res *campaign.Result) error {
+	return s.putRecord(recResult, id, res)
+}
+
+// Result implements Store.
+func (s *SQLiteStore) Result(id string) (*campaign.Result, error) {
+	var res campaign.Result
+	if err := s.getRecord(func() map[string][]byte { return s.results }, id, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PutJob implements Store.
+func (s *SQLiteStore) PutJob(key string, jr campaign.JobResult) error {
+	return s.putRecord(recJob, key, jr)
+}
+
+// Job implements Store.
+func (s *SQLiteStore) Job(key string) (campaign.JobResult, error) {
+	var jr campaign.JobResult
+	if err := s.getRecord(func() map[string][]byte { return s.jobs }, key, &jr); err != nil {
+		return campaign.JobResult{}, err
+	}
+	return jr, nil
+}
+
+// AcquireJobLease implements Store: the liveness check and the lease append
+// run under one exclusive file lock, so stealers racing from different
+// processes serialise and exactly one wins.
+func (s *SQLiteStore) AcquireJobLease(key, owner string, ttl time.Duration) error {
+	if err := checkLeaseArgs(key, owner, ttl); err != nil {
+		return err
+	}
+	return s.writeTxn(func() ([]byte, error) {
+		now := time.Now()
+		if cur, ok := s.leases[key]; ok && cur.live(now) && cur.Owner != owner {
+			return nil, fmt.Errorf("%w: job %.12s leased by %s", ErrLeaseHeld, key, cur.Owner)
+		}
+		b, err := json.Marshal(lease{Owner: owner, Expires: now.Add(ttl).UnixNano()})
+		if err != nil {
+			return nil, err
+		}
+		return appendRecord(nil, recLease, key, b), nil
+	})
+}
+
+// ReleaseJobLease implements Store: a lease record with an empty owner is
+// the release tombstone.
+func (s *SQLiteStore) ReleaseJobLease(key, owner string) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid lease key %q", key)
+	}
+	return s.writeTxn(func() ([]byte, error) {
+		cur, ok := s.leases[key]
+		if !ok || cur.Owner != owner {
+			return nil, nil
+		}
+		b, err := json.Marshal(lease{})
+		if err != nil {
+			return nil, err
+		}
+		return appendRecord(nil, recLease, key, b), nil
+	})
+}
+
+// MaxSeq implements Store. Unreadable record *content* cannot hide a
+// sequence here the way it can in a directory store — the key survives even
+// when the value doesn't parse — so keys of campaigns and results are the
+// whole evidence.
+func (s *SQLiteStore) MaxSeq() (int, error) {
+	max := 0
+	err := s.readView(func() error {
+		for id := range s.campaigns {
+			if seq, ok := seqFromID(id); ok && seq > max {
+				max = seq
+			}
+		}
+		for id := range s.results {
+			if seq, ok := seqFromID(id); ok && seq > max {
+				max = seq
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return max, nil
+}

@@ -3,8 +3,10 @@ package engine
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 )
@@ -17,16 +19,44 @@ var ErrNotFound = errors.New("engine: not found")
 // an HTTP adapter needs between 500 and 400.
 var ErrStore = errors.New("engine: store failure")
 
+// ErrConflict is returned by conditional writes (CreateCampaign) that lost
+// a race: the record already exists, written by this process or by another
+// writer sharing the store. The caller retries with fresh state; nothing
+// was overwritten.
+var ErrConflict = errors.New("engine: conflicting write")
+
+// ErrLeaseHeld is returned by AcquireJobLease when another live owner holds
+// the lease. The caller either waits for the holder to publish its result
+// or retries after the lease's TTL, at which point the lease can be stolen.
+var ErrLeaseHeld = errors.New("engine: lease held")
+
 // Store persists the engine's three record kinds: campaign metadata,
 // finished campaign Results, and individual JobResults under their JobKey.
 // Implementations must be safe for concurrent use — the worker pool stores
 // job results in parallel — and must return records that serialise to
-// exactly the bytes the original would have (both built-in stores keep the
+// exactly the bytes the original would have (all built-in stores keep the
 // canonical JSON encoding, so a served warm-cache artifact is byte-identical
 // to the cold one).
+//
+// Stores also carry the two coordination primitives that make N concurrent
+// writers safe: CreateCampaign (a conditional put keyed on the campaign ID,
+// so two coordinators can never mint the same ID) and job leases (so two
+// engines racing the same job key execute it at most once between them).
+// MemStore and DirStore honour the contract within one process; SQLiteStore
+// and BlobStore extend it across processes sharing one file or directory
+// tree. The conformance contract is executable: storetest.Run exercises
+// every method against any backend, and every backend in the tree must pass
+// it.
 type Store interface {
 	// PutCampaign writes (or overwrites) one campaign record.
 	PutCampaign(c Campaign) error
+	// CreateCampaign writes one campaign record only if no record with
+	// the same ID exists yet, atomically with respect to every other
+	// writer of the store. A lost race returns ErrConflict (possibly
+	// wrapped) and leaves the existing record untouched.
+	CreateCampaign(c Campaign) error
+	// Campaign returns the record stored under id, or ErrNotFound.
+	Campaign(id string) (Campaign, error)
 	// Campaigns returns every stored record, sorted by submission
 	// sequence.
 	Campaigns() ([]Campaign, error)
@@ -42,11 +72,51 @@ type Store interface {
 	// Job returns the result stored under key, or ErrNotFound.
 	Job(key string) (campaign.JobResult, error)
 
+	// AcquireJobLease claims the exclusive right to execute the job
+	// stored under key on behalf of owner, for ttl. It returns nil when
+	// the lease is granted: no lease existed, the previous lease expired
+	// (the grant steals it), or owner already holds it (the grant renews
+	// it, extending the expiry). It returns ErrLeaseHeld (possibly
+	// wrapped) while another owner's lease is live. owner must be
+	// non-empty and ttl positive.
+	AcquireJobLease(key, owner string, ttl time.Duration) error
+	// ReleaseJobLease drops owner's lease on key. Releasing a lease that
+	// is absent, expired, or held by another owner is a no-op, not an
+	// error — the lease may have been stolen after expiry.
+	ReleaseJobLease(key, owner string) error
+
 	// MaxSeq returns the highest submission sequence the store has any
 	// evidence of — counting records whose content is unreadable and
 	// orphaned result artifacts — so a recovering engine never re-mints
 	// a campaign ID that may still have data on disk.
 	MaxSeq() (int, error)
+}
+
+// lease is one job lease's state, shared by every backend: the holding
+// owner and the wall-clock instant the grant lapses.
+type lease struct {
+	Owner   string `json:"owner"`
+	Expires int64  `json:"expires"` // UnixNano
+}
+
+// live reports whether the lease is held at instant now.
+func (l lease) live(now time.Time) bool {
+	return l.Owner != "" && now.UnixNano() < l.Expires
+}
+
+// checkLeaseArgs validates the caller-supplied lease parameters shared by
+// every backend's AcquireJobLease.
+func checkLeaseArgs(key, owner string, ttl time.Duration) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid lease key %q", key)
+	}
+	if owner == "" {
+		return errors.New("engine: lease owner must be non-empty")
+	}
+	if ttl <= 0 {
+		return errors.New("engine: lease ttl must be positive")
+	}
+	return nil
 }
 
 // seqFromID parses the numeric sequence out of an engine-generated
@@ -78,6 +148,7 @@ type MemStore struct {
 	campaigns map[string][]byte
 	results   map[string][]byte
 	jobs      map[string][]byte
+	leases    map[string]lease
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -86,10 +157,14 @@ func NewMemStore() *MemStore {
 		campaigns: map[string][]byte{},
 		results:   map[string][]byte{},
 		jobs:      map[string][]byte{},
+		leases:    map[string]lease{},
 	}
 }
 
 func (s *MemStore) put(m map[string][]byte, key string, v any) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid record name %q", key)
+	}
 	b, err := json.Marshal(v)
 	if err != nil {
 		return err
@@ -112,6 +187,60 @@ func (s *MemStore) get(m map[string][]byte, key string, v any) error {
 
 // PutCampaign implements Store.
 func (s *MemStore) PutCampaign(c Campaign) error { return s.put(s.campaigns, c.ID, c) }
+
+// CreateCampaign implements Store: the existence check and the write are
+// one critical section, so concurrent creators of the same ID serialise and
+// exactly one wins.
+func (s *MemStore) CreateCampaign(c Campaign) error {
+	if !validRecordName(c.ID) {
+		return fmt.Errorf("engine: invalid record name %q", c.ID)
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.campaigns[c.ID]; ok {
+		return fmt.Errorf("%w: campaign %s already exists", ErrConflict, c.ID)
+	}
+	s.campaigns[c.ID] = b
+	return nil
+}
+
+// Campaign implements Store.
+func (s *MemStore) Campaign(id string) (Campaign, error) {
+	var c Campaign
+	if err := s.get(s.campaigns, id, &c); err != nil {
+		return Campaign{}, err
+	}
+	return c, nil
+}
+
+// AcquireJobLease implements Store.
+func (s *MemStore) AcquireJobLease(key, owner string, ttl time.Duration) error {
+	if err := checkLeaseArgs(key, owner, ttl); err != nil {
+		return err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.leases[key]; ok && cur.live(now) && cur.Owner != owner {
+		return fmt.Errorf("%w: job %.12s leased by %s", ErrLeaseHeld, key, cur.Owner)
+	}
+	s.leases[key] = lease{Owner: owner, Expires: now.Add(ttl).UnixNano()}
+	return nil
+}
+
+// ReleaseJobLease implements Store.
+func (s *MemStore) ReleaseJobLease(key, owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.leases[key]; ok && cur.Owner == owner {
+		delete(s.leases, key)
+	}
+	return nil
+}
 
 // Campaigns implements Store.
 func (s *MemStore) Campaigns() ([]Campaign, error) {

@@ -1,0 +1,345 @@
+// Package storetest is the executable conformance contract for
+// engine.Store: Run exercises every method — record round-trips,
+// canonical-JSON byte identity, MaxSeq orphan counting, conditional-create
+// conflicts, and the full job-lease protocol including expiry stealing —
+// against any backend. Every backend in the tree runs it, and every future
+// backend must: a store that passes Run is safe to put behind an Engine,
+// shared topologies included.
+package storetest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/engine"
+)
+
+// Run exercises the full Store contract against the backend open builds.
+// open is called once per subtest and must return a fresh, empty store
+// (use t.TempDir for disk-backed backends).
+func Run(t *testing.T, open func(t *testing.T) engine.Store) {
+	t.Helper()
+	t.Run("CampaignRoundTrip", func(t *testing.T) { testCampaignRoundTrip(t, open(t)) })
+	t.Run("CampaignOverwrite", func(t *testing.T) { testCampaignOverwrite(t, open(t)) })
+	t.Run("CreateConflict", func(t *testing.T) { testCreateConflict(t, open(t)) })
+	t.Run("ResultRoundTrip", func(t *testing.T) { testResultRoundTrip(t, open(t)) })
+	t.Run("JobRoundTrip", func(t *testing.T) { testJobRoundTrip(t, open(t)) })
+	t.Run("InvalidNames", func(t *testing.T) { testInvalidNames(t, open(t)) })
+	t.Run("MaxSeq", func(t *testing.T) { testMaxSeq(t, open(t)) })
+	t.Run("LeaseExclusive", func(t *testing.T) { testLeaseExclusive(t, open(t)) })
+	t.Run("LeaseExpirySteal", func(t *testing.T) { testLeaseExpirySteal(t, open(t)) })
+	t.Run("LeaseArgs", func(t *testing.T) { testLeaseArgs(t, open(t)) })
+	t.Run("LeaseOneWinner", func(t *testing.T) { testLeaseOneWinner(t, open(t)) })
+}
+
+// testCampaign builds a distinctive campaign record for sequence seq.
+func testCampaign(seq int) engine.Campaign {
+	return engine.Campaign{
+		ID:        fmt.Sprintf("c%06d", seq),
+		Seq:       seq,
+		Name:      fmt.Sprintf("conformance-%d", seq),
+		Spec:      campaign.Spec{Profiles: []string{"povray"}, MinSweeps: 1, MaxEvents: 1000},
+		Workers:   2,
+		State:     engine.StateRunning,
+		JobsTotal: 3,
+		Created:   time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+// jobKey returns a well-formed 64-hex job key that encodes n.
+func jobKey(n int) string {
+	return fmt.Sprintf("%064x", 0xfeed0000+n)
+}
+
+func testCampaignRoundTrip(t *testing.T, s engine.Store) {
+	t.Helper()
+	if _, err := s.Campaign("c000001"); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("Campaign on empty store: err = %v, want ErrNotFound", err)
+	}
+	if recs, err := s.Campaigns(); err != nil || len(recs) != 0 {
+		t.Fatalf("Campaigns on empty store = %v, %v; want empty, nil", recs, err)
+	}
+	// Store out of order to prove listing sorts by sequence.
+	for _, seq := range []int{3, 1, 2} {
+		if err := s.PutCampaign(testCampaign(seq)); err != nil {
+			t.Fatalf("PutCampaign(seq %d): %v", seq, err)
+		}
+	}
+	got, err := s.Campaign("c000002")
+	if err != nil {
+		t.Fatalf("Campaign: %v", err)
+	}
+	if want := testCampaign(2); !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+		t.Errorf("Campaign round-trip mismatch:\n got %s\nwant %s", mustJSON(t, got), mustJSON(t, want))
+	}
+	recs, err := s.Campaigns()
+	if err != nil {
+		t.Fatalf("Campaigns: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("Campaigns returned %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != i+1 {
+			t.Errorf("Campaigns[%d].Seq = %d, want %d (sorted by sequence)", i, rec.Seq, i+1)
+		}
+	}
+}
+
+func testCampaignOverwrite(t *testing.T, s engine.Store) {
+	t.Helper()
+	rec := testCampaign(1)
+	if err := s.PutCampaign(rec); err != nil {
+		t.Fatalf("PutCampaign: %v", err)
+	}
+	rec.State = engine.StateDone
+	rec.JobsDone = rec.JobsTotal
+	if err := s.PutCampaign(rec); err != nil {
+		t.Fatalf("PutCampaign (overwrite): %v", err)
+	}
+	got, err := s.Campaign(rec.ID)
+	if err != nil {
+		t.Fatalf("Campaign: %v", err)
+	}
+	if got.State != engine.StateDone || got.JobsDone != rec.JobsTotal {
+		t.Errorf("after overwrite got state %q jobs_done %d, want %q %d", got.State, got.JobsDone, engine.StateDone, rec.JobsTotal)
+	}
+}
+
+func testCreateConflict(t *testing.T, s engine.Store) {
+	t.Helper()
+	first := testCampaign(7)
+	if err := s.CreateCampaign(first); err != nil {
+		t.Fatalf("CreateCampaign: %v", err)
+	}
+	clobber := testCampaign(7)
+	clobber.Name = "usurper"
+	if err := s.CreateCampaign(clobber); !errors.Is(err, engine.ErrConflict) {
+		t.Fatalf("CreateCampaign of existing ID: err = %v, want ErrConflict", err)
+	}
+	got, err := s.Campaign(first.ID)
+	if err != nil {
+		t.Fatalf("Campaign: %v", err)
+	}
+	if got.Name != first.Name {
+		t.Errorf("lost create overwrote the record: name %q, want %q", got.Name, first.Name)
+	}
+	// A conflicting ID is not burned: after the existing record is
+	// superseded by a plain put, it can still be overwritten.
+	if err := s.PutCampaign(clobber); err != nil {
+		t.Fatalf("PutCampaign over created record: %v", err)
+	}
+}
+
+func testResultRoundTrip(t *testing.T, s engine.Store) {
+	t.Helper()
+	if _, err := s.Result("c000001"); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("Result on empty store: err = %v, want ErrNotFound", err)
+	}
+	res := &campaign.Result{
+		Spec: campaign.Spec{Profiles: []string{"povray", "gcc"}},
+		Jobs: []campaign.JobResult{
+			{Job: campaign.Job{ID: 0, Profile: "povray", Seed: 42}, AppSeconds: 1.5, Mallocs: 100, Frees: 90},
+			{Job: campaign.Job{ID: 1, Profile: "gcc", Seed: 43}, Error: "boom"},
+		},
+		Summary: campaign.Summary{Jobs: 2, Failed: 1, GeomeanRuntime: 1.07},
+	}
+	if err := s.PutResult("c000001", res); err != nil {
+		t.Fatalf("PutResult: %v", err)
+	}
+	got, err := s.Result("c000001")
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	// The byte-identity contract: a served artifact re-serialises to
+	// exactly the bytes the original would.
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, res)) {
+		t.Errorf("Result round-trip is not byte-identical:\n got %s\nwant %s", mustJSON(t, got), mustJSON(t, res))
+	}
+}
+
+func testJobRoundTrip(t *testing.T, s engine.Store) {
+	t.Helper()
+	key := jobKey(1)
+	if _, err := s.Job(key); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("Job on empty store: err = %v, want ErrNotFound", err)
+	}
+	jr := campaign.JobResult{
+		Job:        campaign.Job{ID: 5, Profile: "povray", Fraction: 0.25, Seed: 0xC0FFEE},
+		AppSeconds: 2.25,
+		Mallocs:    12345,
+		Frees:      12000,
+		FreedBytes: 1 << 20,
+		Scale:      0.5,
+	}
+	if err := s.PutJob(key, jr); err != nil {
+		t.Fatalf("PutJob: %v", err)
+	}
+	got, err := s.Job(key)
+	if err != nil {
+		t.Fatalf("Job: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, jr)) {
+		t.Errorf("Job round-trip is not byte-identical:\n got %s\nwant %s", mustJSON(t, got), mustJSON(t, jr))
+	}
+	if _, err := s.Job(jobKey(2)); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("Job of absent key: err = %v, want ErrNotFound", err)
+	}
+}
+
+func testInvalidNames(t *testing.T, s engine.Store) {
+	t.Helper()
+	for _, bad := range []string{"", "../evil", "UPPER", "a.b", "a/b", "white space"} {
+		if err := s.PutCampaign(engine.Campaign{ID: bad}); err == nil {
+			t.Errorf("PutCampaign(%q) accepted an invalid name", bad)
+		}
+		if err := s.PutJob(bad, campaign.JobResult{}); err == nil {
+			t.Errorf("PutJob(%q) accepted an invalid name", bad)
+		}
+		if err := s.AcquireJobLease(bad, "owner", time.Second); err == nil {
+			t.Errorf("AcquireJobLease(%q) accepted an invalid key", bad)
+		}
+	}
+}
+
+func testMaxSeq(t *testing.T, s engine.Store) {
+	t.Helper()
+	if n, err := s.MaxSeq(); err != nil || n != 0 {
+		t.Fatalf("MaxSeq on empty store = %d, %v; want 0, nil", n, err)
+	}
+	if err := s.PutCampaign(testCampaign(4)); err != nil {
+		t.Fatalf("PutCampaign: %v", err)
+	}
+	if n, err := s.MaxSeq(); err != nil || n != 4 {
+		t.Fatalf("MaxSeq = %d, %v; want 4", n, err)
+	}
+	// An orphaned result — no campaign record — must still fence its
+	// sequence: its artifact exists, so its ID must never be re-minted.
+	if err := s.PutResult("c000009", &campaign.Result{}); err != nil {
+		t.Fatalf("PutResult: %v", err)
+	}
+	if n, err := s.MaxSeq(); err != nil || n != 9 {
+		t.Fatalf("MaxSeq with orphan result = %d, %v; want 9", n, err)
+	}
+	// Job keys are content hashes, not sequences, and must not count.
+	if err := s.PutJob(jobKey(3), campaign.JobResult{}); err != nil {
+		t.Fatalf("PutJob: %v", err)
+	}
+	if n, err := s.MaxSeq(); err != nil || n != 9 {
+		t.Fatalf("MaxSeq after job put = %d, %v; want 9", n, err)
+	}
+}
+
+func testLeaseExclusive(t *testing.T, s engine.Store) {
+	t.Helper()
+	key := jobKey(10)
+	if err := s.AcquireJobLease(key, "alpha", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease: %v", err)
+	}
+	if err := s.AcquireJobLease(key, "beta", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Fatalf("AcquireJobLease by second owner: err = %v, want ErrLeaseHeld", err)
+	}
+	// The holder renews its own lease freely.
+	if err := s.AcquireJobLease(key, "alpha", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease (renew): %v", err)
+	}
+	// Releasing someone else's lease is a no-op, not a theft.
+	if err := s.ReleaseJobLease(key, "beta"); err != nil {
+		t.Fatalf("ReleaseJobLease by non-holder: %v", err)
+	}
+	if err := s.AcquireJobLease(key, "beta", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Fatalf("lease survived a non-holder release: err = %v, want ErrLeaseHeld", err)
+	}
+	if err := s.ReleaseJobLease(key, "alpha"); err != nil {
+		t.Fatalf("ReleaseJobLease: %v", err)
+	}
+	if err := s.AcquireJobLease(key, "beta", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease after release: %v", err)
+	}
+	// Leases are per key: an unrelated key is immediately available.
+	if err := s.AcquireJobLease(jobKey(11), "gamma", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease of unrelated key: %v", err)
+	}
+}
+
+func testLeaseExpirySteal(t *testing.T, s engine.Store) {
+	t.Helper()
+	key := jobKey(12)
+	if err := s.AcquireJobLease(key, "alpha", 30*time.Millisecond); err != nil {
+		t.Fatalf("AcquireJobLease: %v", err)
+	}
+	if err := s.AcquireJobLease(key, "beta", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Fatalf("AcquireJobLease before expiry: err = %v, want ErrLeaseHeld", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := s.AcquireJobLease(key, "beta", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease after expiry (steal): %v", err)
+	}
+	// The expired former holder cannot release the stolen lease...
+	if err := s.ReleaseJobLease(key, "alpha"); err != nil {
+		t.Fatalf("ReleaseJobLease by expired owner: %v", err)
+	}
+	// ...so the thief still holds it.
+	if err := s.AcquireJobLease(key, "gamma", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Fatalf("stolen lease did not exclude a third owner: err = %v, want ErrLeaseHeld", err)
+	}
+}
+
+func testLeaseArgs(t *testing.T, s engine.Store) {
+	t.Helper()
+	key := jobKey(13)
+	if err := s.AcquireJobLease(key, "", time.Minute); err == nil || errors.Is(err, engine.ErrLeaseHeld) {
+		t.Errorf("AcquireJobLease with empty owner: err = %v, want a validation error", err)
+	}
+	if err := s.AcquireJobLease(key, "alpha", 0); err == nil || errors.Is(err, engine.ErrLeaseHeld) {
+		t.Errorf("AcquireJobLease with zero ttl: err = %v, want a validation error", err)
+	}
+	if err := s.AcquireJobLease(key, "alpha", -time.Second); err == nil || errors.Is(err, engine.ErrLeaseHeld) {
+		t.Errorf("AcquireJobLease with negative ttl: err = %v, want a validation error", err)
+	}
+}
+
+func testLeaseOneWinner(t *testing.T, s engine.Store) {
+	t.Helper()
+	key := jobKey(14)
+	const racers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.AcquireJobLease(key, fmt.Sprintf("owner%d", i), time.Minute)
+		}(i)
+	}
+	wg.Wait()
+	winners := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			winners++
+		case errors.Is(err, engine.ErrLeaseHeld):
+		default:
+			t.Errorf("racer %d: unexpected error %v", i, err)
+		}
+	}
+	if winners != 1 {
+		t.Errorf("%d racers won the lease, want exactly 1", winners)
+	}
+}
+
+// mustJSON marshals v, failing the test on error.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}

@@ -68,7 +68,23 @@ func (s *Server) handleInternalJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, fmt.Sprintf("job key mismatch: coordinator sent %.12s, this worker computes %.12s (diverging trace bytes or version skew)", req.Key, key))
 		return
 	}
+	// Read-through: a worker with a persistent store consults it before
+	// executing. Over a shared backend the store holds every sibling's
+	// finished jobs, so a job is computed at most once fleet-wide no
+	// matter which worker each coordinator routes it to. Results are
+	// deterministic and keyed by content hash, so a served result is
+	// byte-identical to a computed one.
+	if s.hasStore {
+		if jr, ok := s.engine.LookupJob(req.Key); ok {
+			s.metrics.readthrough.Inc()
+			writeJSON(w, http.StatusOK, engine.JobResponse{Key: req.Key, Result: jr})
+			return
+		}
+	}
 	jr := campaign.ExecuteJob(req.Spec, req.Job, traces)
 	s.metrics.internal.Inc()
+	if s.hasStore && jr.Error == "" {
+		s.engine.SaveJob(req.Key, jr)
+	}
 	writeJSON(w, http.StatusOK, engine.JobResponse{Key: req.Key, Result: jr})
 }

@@ -13,11 +13,12 @@ var latencyBuckets = obs.ExpBuckets(0.0005, 4, 8)
 // serverMetrics holds the HTTP layer's instruments; the zero value is the
 // disabled form (obs instruments no-op on nil receivers).
 type serverMetrics struct {
-	requests *obs.CounterVec   // labels: route, method, class
-	latency  *obs.HistogramVec // label: route
-	sse      *obs.Gauge
-	traceRx  *obs.Counter
-	internal *obs.Counter // jobs executed via POST /internal/jobs
+	requests    *obs.CounterVec   // labels: route, method, class
+	latency     *obs.HistogramVec // label: route
+	sse         *obs.Gauge
+	traceRx     *obs.Counter
+	internal    *obs.Counter // jobs executed via POST /internal/jobs
+	readthrough *obs.Counter // internal jobs served from the shared store
 }
 
 // newServerMetrics materialises the HTTP instruments against r (all no-ops
@@ -40,6 +41,8 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		internal: r.CounterVec(obs.MetricJobsExecuted,
 			"Jobs executed in this process, by execution path.",
 			obs.MetricJobsExecutedLabel).With("internal"),
+		readthrough: r.Counter("cherivoke_worker_readthrough_hits_total",
+			"Internal job requests answered from this worker's store instead of executing."),
 	}
 }
 

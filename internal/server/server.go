@@ -30,6 +30,21 @@ type Options struct {
 	// everything in memory, like the pre-engine server.
 	StateDir string
 
+	// Store selects the engine's store by spec — "mem:", "dir:PATH",
+	// "sqlite:PATH", or "blob:PATH" (see engine.OpenStore). It supersedes
+	// StateDir when both are set. The sqlite: and blob: backends are
+	// shared: any number of coordinators and workers may point at the
+	// same path, job execution is deduplicated fleet-wide through store
+	// leases, and recovery is skipped on open (a peer's running campaign
+	// is live, not interrupted).
+	Store string
+
+	// LockStateDir takes the state directory's exclusive advisory lock on
+	// open, so a second unaware process pointed at the same -statedir
+	// fails loudly instead of racing the first. The serving CLI sets it;
+	// in-process embedders that manage their own exclusivity need not.
+	LockStateDir bool
+
 	// Worker exposes the internal job-execution API (POST
 	// /internal/jobs): this process will execute single jobs on behalf
 	// of a coordinator.
@@ -68,6 +83,8 @@ type Server struct {
 	opts       Options
 	traces     traceStoreState
 	engine     *engine.Engine
+	store      engine.Store       // the engine's store, retained for Close
+	hasStore   bool               // a persistent (non-mem) store backs the engine
 	dispatcher *engine.Dispatcher // nil unless Options.WorkerURLs configured
 	reg        *obs.Registry
 	metrics    serverMetrics
@@ -86,21 +103,44 @@ const (
 // it opens (or recovers) the disk-backed store there: campaigns submitted
 // before a restart are listed with their final status, their artifacts are
 // served, and resubmitted specs are answered from the job-result store
-// without re-executing anything.
+// without re-executing anything. Options.Store generalises this to the
+// shared backends — several coordinators and workers over one sqlite: file
+// or blob: tree form a fleet computing every job at most once.
 func New(opts Options) (*Server, error) {
 	s := &Server{opts: opts, reg: obs.NewRegistry()}
 	s.metrics = newServerMetrics(s.reg)
 	var store engine.Store
-	if opts.StateDir != "" {
+	var shared bool
+	switch {
+	case opts.Store != "":
+		var err error
+		if store, shared, err = engine.OpenStore(opts.Store, nil); err != nil {
+			return nil, err
+		}
+	case opts.StateDir != "":
 		ds, err := engine.OpenDirStore(opts.StateDir, nil)
 		if err != nil {
 			return nil, err
 		}
 		store = ds
-	} else {
+	default:
 		store = engine.NewMemStore()
 	}
+	if ds, ok := store.(*engine.DirStore); ok && opts.LockStateDir {
+		if err := ds.Lock(); err != nil {
+			return nil, err
+		}
+	}
+	s.store = store
+	s.hasStore = opts.Store != "" || opts.StateDir != ""
 	engOpts := engine.Options{Workers: opts.Workers, Traces: lazyTraces{s}, Metrics: s.reg}
+	if shared {
+		// A shared store has live peers: their running campaigns must not
+		// be finalised as interrupted by this process's open. (Recovery
+		// fencing for crashed peers is a documented future step.)
+		engOpts.Shared = true
+		engOpts.SkipRecovery = true
+	}
 	if len(opts.WorkerURLs) > 0 {
 		remotes := make([]*engine.RemoteRunner, len(opts.WorkerURLs))
 		for i, url := range opts.WorkerURLs {
@@ -135,11 +175,18 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Close releases the server's background resources (the coordinator's
-// worker health-probe loop). In-flight requests are unaffected.
+// Close releases the server's background resources: the coordinator's
+// worker health-probe loop, the state directory's advisory lock, and the
+// store's file handle where it has one. In-flight requests are unaffected.
 func (s *Server) Close() {
 	if s.dispatcher != nil {
 		s.dispatcher.Close()
+	}
+	switch st := s.store.(type) {
+	case *engine.DirStore:
+		st.Unlock()
+	case *engine.SQLiteStore:
+		st.Close()
 	}
 }
 

@@ -47,3 +47,70 @@ func TestBlobStoreConformance(t *testing.T) {
 		return s
 	})
 }
+
+// The read-cache decorator must be invisible to the contract: a cached
+// store passes the same conformance suite as its backend, decorated over
+// both the racy in-memory backend and the group-committing file backend.
+func TestCachedMemStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) engine.Store {
+		return engine.NewCachedStore(engine.NewMemStore(), 1<<20)
+	})
+}
+
+func TestCachedSQLiteStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) engine.Store {
+		s, err := engine.OpenSQLiteStore(filepath.Join(t.TempDir(), "store.db"), t.Logf)
+		if err != nil {
+			t.Fatalf("OpenSQLiteStore: %v", err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return engine.NewCachedStore(s, 1<<20)
+	})
+}
+
+// openSQLitePair opens two independent handles onto one store file — the
+// two-coordinator topology in miniature.
+func openSQLitePair(t *testing.T) (a, b engine.Store) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.db")
+	sa, err := engine.OpenSQLiteStore(path, t.Logf)
+	if err != nil {
+		t.Fatalf("OpenSQLiteStore (a): %v", err)
+	}
+	t.Cleanup(func() { sa.Close() })
+	sb, err := engine.OpenSQLiteStore(path, t.Logf)
+	if err != nil {
+		t.Fatalf("OpenSQLiteStore (b): %v", err)
+	}
+	t.Cleanup(func() { sb.Close() })
+	return sa, sb
+}
+
+func TestSQLiteStoreShared(t *testing.T) {
+	storetest.RunShared(t, openSQLitePair)
+}
+
+func TestBlobStoreShared(t *testing.T) {
+	storetest.RunShared(t, func(t *testing.T) (a, b engine.Store) {
+		dir := t.TempDir()
+		sa, err := engine.OpenBlobStore(dir, t.Logf)
+		if err != nil {
+			t.Fatalf("OpenBlobStore (a): %v", err)
+		}
+		sb, err := engine.OpenBlobStore(dir, t.Logf)
+		if err != nil {
+			t.Fatalf("OpenBlobStore (b): %v", err)
+		}
+		return sa, sb
+	})
+}
+
+// Two *cached* handles on one file: each handle's private read cache must
+// never serve a view the shared file has superseded — the coherence rests
+// on never caching mutable records, which this suite proves cross-handle.
+func TestCachedSQLiteStoreShared(t *testing.T) {
+	storetest.RunShared(t, func(t *testing.T) (a, b engine.Store) {
+		sa, sb := openSQLitePair(t)
+		return engine.NewCachedStore(sa, 1<<20), engine.NewCachedStore(sb, 1<<20)
+	})
+}

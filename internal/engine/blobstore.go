@@ -54,6 +54,10 @@ type BlobStore struct {
 	// DirStore's stale-overwrite guard. Cross-process campaign writers are
 	// ordered by the engine's lease/CAS protocol, not by the store.
 	mu sync.Mutex
+
+	// signal wakes in-process lease waiters; cross-process waiters rely
+	// on backoff polling.
+	signal leaseSignal
 }
 
 // OpenBlobStore opens (creating if needed) a blob store rooted at root.
@@ -216,7 +220,11 @@ func (s *BlobStore) Result(id string) (*campaign.Result, error) {
 // PutJob implements Store. Concurrent writers of the same key race
 // benignly: both rename complete objects carrying identical bytes.
 func (s *BlobStore) PutJob(key string, jr campaign.JobResult) error {
-	return s.putObject(blobJobs, key, jr)
+	if err := s.putObject(blobJobs, key, jr); err != nil {
+		return err
+	}
+	s.signal.broadcast()
+	return nil
 }
 
 // Job implements Store.
@@ -302,7 +310,46 @@ func (s *BlobStore) ReleaseJobLease(key, owner string) error {
 	if err := os.Remove(filepath.Join(s.root, blobLeases, key)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("engine: releasing lease: %w", err)
 	}
+	s.signal.broadcast()
 	return nil
+}
+
+// PeekJobLease implements LeasePeeker: one object read, no mutation.
+func (s *BlobStore) PeekJobLease(key string) (string, bool, error) {
+	if !validRecordName(key) {
+		return "", false, fmt.Errorf("engine: invalid lease key %q", key)
+	}
+	var cur lease
+	err := s.getObject(blobLeases, key, &cur)
+	if err == ErrNotFound {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	if !cur.live(time.Now()) {
+		return "", false, nil
+	}
+	return cur.Owner, true, nil
+}
+
+// LeaseChanged implements LeaseNotifier. Only in-process waiters hear it;
+// waiters in other processes poll with backoff.
+func (s *BlobStore) LeaseChanged() <-chan struct{} { return s.signal.wait() }
+
+// PublishJob implements JobPublisher. The blob layout has no cross-object
+// transaction, so this is the protocol's write order made explicit: the
+// job object is renamed into place first, the lease object removed second —
+// a crash in between leaves a published result under a doomed lease, which
+// the next acquirer's double-check serves.
+func (s *BlobStore) PublishJob(key, owner string, jr campaign.JobResult) error {
+	if owner == "" {
+		return fmt.Errorf("engine: lease owner must be non-empty")
+	}
+	if err := s.PutJob(key, jr); err != nil {
+		return err
+	}
+	return s.ReleaseJobLease(key, owner)
 }
 
 // MaxSeq implements Store: the highest sequence any campaign or result

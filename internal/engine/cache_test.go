@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// hookStore wraps a Store with call counters and an optional gate on Job,
+// for observing what the read cache lets through.
+type hookStore struct {
+	Store
+	jobReads atomic.Int64
+	jobPuts  atomic.Int64
+	gate     chan struct{} // when non-nil, Job blocks until it closes
+}
+
+func (h *hookStore) Job(key string) (campaign.JobResult, error) {
+	h.jobReads.Add(1)
+	if h.gate != nil {
+		<-h.gate
+	}
+	return h.Store.Job(key)
+}
+
+func (h *hookStore) PutJob(key string, jr campaign.JobResult) error {
+	h.jobPuts.Add(1)
+	return h.Store.PutJob(key, jr)
+}
+
+// TestCachedStoreServesRepeatsFromMemory proves the core economics: N
+// reads of one record cost one backing-store read.
+func TestCachedStoreServesRepeatsFromMemory(t *testing.T) {
+	inner := &hookStore{Store: NewMemStore()}
+	c := NewCachedStore(inner, 1<<20)
+	key := testJobKey(1)
+	want := campaign.JobResult{Job: campaign.Job{ID: 1}, Mallocs: 7}
+	if err := inner.Store.PutJob(key, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		jr, err := c.Job(key)
+		if err != nil {
+			t.Fatalf("Job read %d: %v", i, err)
+		}
+		if jr.Mallocs != want.Mallocs {
+			t.Fatalf("read %d served wrong record", i)
+		}
+	}
+	if got := inner.jobReads.Load(); got != 1 {
+		t.Errorf("10 cached reads hit the backing store %d times, want 1", got)
+	}
+}
+
+// TestCachedStoreNeverCachesMisses proves a miss is not negative-cached: a
+// sibling's publish between two reads is served by the second.
+func TestCachedStoreNeverCachesMisses(t *testing.T) {
+	inner := &hookStore{Store: NewMemStore()}
+	c := NewCachedStore(inner, 1<<20)
+	key := testJobKey(2)
+	if _, err := c.Job(key); err == nil {
+		t.Fatal("read of absent key succeeded")
+	}
+	// "Another process" publishes directly into the backing store.
+	if err := inner.Store.PutJob(key, campaign.JobResult{Mallocs: 9}); err != nil {
+		t.Fatal(err)
+	}
+	jr, err := c.Job(key)
+	if err != nil {
+		t.Fatalf("read after sibling publish: %v", err)
+	}
+	if jr.Mallocs != 9 {
+		t.Errorf("served a negative-cached miss instead of the published record")
+	}
+}
+
+// TestCachedStoreSingleflight proves concurrent misses of one key collapse
+// into a single backing-store load.
+func TestCachedStoreSingleflight(t *testing.T) {
+	inner := &hookStore{Store: NewMemStore(), gate: make(chan struct{})}
+	key := testJobKey(3)
+	if err := inner.Store.PutJob(key, campaign.JobResult{Mallocs: 5}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCachedStore(inner, 1<<20)
+	const readers = 10
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Job(key)
+		}(i)
+	}
+	// Let every reader either take the leader slot or park as a follower,
+	// then release the (single) backing-store load.
+	time.Sleep(50 * time.Millisecond)
+	close(inner.gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+	if got := inner.jobReads.Load(); got != 1 {
+		t.Errorf("%d concurrent misses made %d backing loads, want 1 (singleflight)", readers, got)
+	}
+}
+
+// TestCachedStorePutJobDedup proves a put of bytes the cache already holds
+// never reaches the backing store — the suppression that drops the
+// campaign pool's duplicate put of a lease-published result.
+func TestCachedStorePutJobDedup(t *testing.T) {
+	inner := &hookStore{Store: NewMemStore()}
+	c := NewCachedStore(inner, 1<<20)
+	key := testJobKey(4)
+	jr := campaign.JobResult{Job: campaign.Job{ID: 4}, Mallocs: 11}
+	if err := c.PutJob(key, jr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutJob(key, jr); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.jobPuts.Load(); got != 1 {
+		t.Errorf("identical re-put reached the backing store (%d puts, want 1)", got)
+	}
+	// Different bytes must pass through.
+	jr.Mallocs = 12
+	if err := c.PutJob(key, jr); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.jobPuts.Load(); got != 2 {
+		t.Errorf("changed re-put was wrongly suppressed (%d puts, want 2)", got)
+	}
+}
+
+// TestCachedStoreEvictsToBudget proves the LRU bound: a cache too small
+// for two entries drops the older one, which then costs a backing read
+// again — bounded memory, not bounded correctness.
+func TestCachedStoreEvictsToBudget(t *testing.T) {
+	inner := &hookStore{Store: NewMemStore()}
+	k1, k2 := testJobKey(5), testJobKey(6)
+	// Budget 1.5 entries, so the second insert always evicts the first
+	// and a single entry always fits.
+	b, err := json.Marshal(campaign.JobResult{Mallocs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := int64(len(cacheJobPrefix+k1)+len(b)) + entryOverhead
+	c := NewCachedStore(inner, one*3/2)
+	if err := inner.Store.PutJob(k1, campaign.JobResult{Mallocs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Store.PutJob(k2, campaign.JobResult{Mallocs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Job(k1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Job(k2); err != nil { // evicts k1
+		t.Fatal(err)
+	}
+	if _, err := c.Job(k1); err != nil { // must reload
+		t.Fatal(err)
+	}
+	if got := inner.jobReads.Load(); got != 3 {
+		t.Errorf("%d backing reads, want 3 (k1 evicted and reloaded)", got)
+	}
+	if jr, err := c.Job(k1); err != nil || jr.Mallocs != 1 {
+		t.Errorf("post-eviction reload served wrong record: %+v, %v", jr, err)
+	}
+}

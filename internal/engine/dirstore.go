@@ -54,6 +54,9 @@ type DirStore struct {
 	leaseMu sync.Mutex
 	leases  map[string]lease
 
+	// signal wakes in-process lease waiters — DirStore's only kind.
+	signal leaseSignal
+
 	// lockMu guards lockFile, the advisory owner lock.
 	lockMu   sync.Mutex
 	lockFile *os.File
@@ -294,11 +297,42 @@ func (s *DirStore) AcquireJobLease(key, owner string, ttl time.Duration) error {
 // ReleaseJobLease implements Store.
 func (s *DirStore) ReleaseJobLease(key, owner string) error {
 	s.leaseMu.Lock()
-	defer s.leaseMu.Unlock()
 	if cur, ok := s.leases[key]; ok && cur.Owner == owner {
 		delete(s.leases, key)
 	}
+	s.leaseMu.Unlock()
+	s.signal.broadcast()
 	return nil
+}
+
+// PeekJobLease implements LeasePeeker.
+func (s *DirStore) PeekJobLease(key string) (string, bool, error) {
+	if !validRecordName(key) {
+		return "", false, fmt.Errorf("engine: invalid lease key %q", key)
+	}
+	s.leaseMu.Lock()
+	cur, ok := s.leases[key]
+	s.leaseMu.Unlock()
+	if ok && cur.live(time.Now()) {
+		return cur.Owner, true, nil
+	}
+	return "", false, nil
+}
+
+// LeaseChanged implements LeaseNotifier. DirStore's leases are in-process,
+// so every waiter hears every change.
+func (s *DirStore) LeaseChanged() <-chan struct{} { return s.signal.wait() }
+
+// PublishJob implements JobPublisher: the job record is filed first, the
+// in-process lease released second — the protocol's write order.
+func (s *DirStore) PublishJob(key, owner string, jr campaign.JobResult) error {
+	if owner == "" {
+		return fmt.Errorf("engine: lease owner must be non-empty")
+	}
+	if err := s.PutJob(key, jr); err != nil {
+		return err
+	}
+	return s.ReleaseJobLease(key, owner)
 }
 
 // Campaigns implements Store: it scans the campaigns directory, skipping
@@ -369,7 +403,11 @@ func (s *DirStore) PutJob(key string, jr campaign.JobResult) error {
 	if err != nil {
 		return err
 	}
-	return s.writeAtomic(jobsDir, name, b)
+	if err := s.writeAtomic(jobsDir, name, b); err != nil {
+		return err
+	}
+	s.signal.broadcast()
+	return nil
 }
 
 // MaxSeq implements Store: the highest sequence any campaign or result

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	mrand "math/rand/v2"
 	"os"
 	"time"
 
@@ -17,9 +18,44 @@ import (
 // short enough that a crashed holder's jobs are stolen promptly.
 const defaultLeaseTTL = 30 * time.Second
 
-// leasePollInterval is how often a runner blocked on a sibling's lease
-// re-checks the job store and the lease.
-const leasePollInterval = 25 * time.Millisecond
+// leaseWaitFloor is the first (pre-jitter) wait of a runner blocked on a
+// sibling's lease; successive waits double up to leaseBackoff's cap.
+const leaseWaitFloor = 2 * time.Millisecond
+
+// leaseBackoff produces the jittered, exponentially growing waits a runner
+// sleeps between lease checks. Doubling bounds the poll rate on long-held
+// leases (the cap, TTL/4, still guarantees a crashed holder's lease is
+// noticed well within a steal window); the ±50% jitter decorrelates
+// waiters that blocked at the same instant, so N siblings waiting on one
+// lease do not thunder in lock-step when it changes hands.
+type leaseBackoff struct {
+	step, max time.Duration
+}
+
+// newLeaseBackoff builds the schedule for one wait on a ttl-lived lease.
+func newLeaseBackoff(ttl time.Duration) *leaseBackoff {
+	max := ttl / 4
+	if max < leaseWaitFloor {
+		max = leaseWaitFloor
+	}
+	return &leaseBackoff{step: leaseWaitFloor, max: max}
+}
+
+// wait returns the next sleep: the current step jittered to a uniform draw
+// from [step/2, 3·step/2), then doubles the step up to the cap.
+func (b *leaseBackoff) wait() time.Duration {
+	step := b.step
+	b.step *= 2
+	if b.step > b.max {
+		b.step = b.max
+	}
+	return step/2 + time.Duration(mrand.Int64N(int64(step)))
+}
+
+// reset drops the schedule back to the floor — called when a notification
+// (not a timeout) ended a sleep, meaning the lease state actually moved
+// and the next check is likely to resolve the wait.
+func (b *leaseBackoff) reset() { b.step = leaseWaitFloor }
 
 // leaseOwnerID mints a fleet-unique lease owner identity for one engine:
 // the PID disambiguates processes on one host, the random suffix
@@ -40,14 +76,21 @@ func leaseOwnerID() string {
 //
 //  1. A job only executes while its executor holds the lease, and the lease
 //     admits one live owner at a time.
-//  2. The result is stored (PutJob) before the lease is released, so when a
-//     waiting sibling finally acquires the lease, its double-check of the
-//     job store finds the result and it does not execute.
+//  2. The result is stored before the lease is released — in one
+//     transaction where the store supports PublishJob — so when a waiting
+//     sibling finally acquires the lease, its double-check of the job
+//     store finds the result and it does not execute.
 //  3. A lease is only stolen after its TTL lapses, and a healthy holder
 //     renews at ttl/3 — so a steal implies the holder crashed or stalled
 //     beyond the TTL, the one case where re-execution is the intended
 //     outcome (results are deterministic, so even that race is benign for
 //     artifact bytes; it costs duplicate work only).
+//
+// Waiting is event-driven where the store allows: a blocked runner arms the
+// store's LeaseChanged notifier, polls the lease read-only via
+// LeasePeeker (no fsync'd append per poll), and sleeps on a jittered
+// exponential backoff between checks — woken early by any in-process
+// release or publish.
 type leaseRunner struct {
 	inner Runner
 	store Store
@@ -65,32 +108,15 @@ func (l *leaseRunner) RunJob(ctx context.Context, key string, spec campaign.Spec
 		return jr, nil
 	}
 
-	// Acquire the lease, waiting out a live holder. While waiting, watch
-	// the job store: the normal way a wait ends is the holder publishing.
-	waited := false
-	for {
-		err := l.store.AcquireJobLease(key, l.owner, l.ttl)
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, ErrLeaseHeld) {
-			return campaign.JobResult{}, fmt.Errorf("%w: acquiring job lease: %v", ErrStore, err)
-		}
-		if !waited {
-			waited = true
-			l.m.leaseWaits.Inc()
-		}
-		select {
-		case <-ctx.Done():
-			return campaign.JobResult{}, ctx.Err()
-		case <-time.After(leasePollInterval):
-		}
-		if jr, err := l.store.Job(key); err == nil {
-			l.m.leaseServed.Inc()
-			return jr, nil
-		}
+	jr, acquired, err := l.acquire(ctx, key)
+	if err != nil {
+		return campaign.JobResult{}, err
 	}
-	l.m.leaseAcquired.Inc()
+	if !acquired {
+		// The holder published while this runner waited — served, not
+		// executed.
+		return jr, nil
+	}
 
 	// Double-check under the lease: if the previous holder published
 	// before releasing (the protocol's write order), serve its result.
@@ -101,7 +127,8 @@ func (l *leaseRunner) RunJob(ctx context.Context, key string, spec campaign.Spec
 	}
 
 	// Heartbeat for the duration of the execution so a long job outlives
-	// its TTL.
+	// its TTL. Renewals are writes, but they ride the store's group
+	// committer with everything else.
 	hbDone := make(chan struct{})
 	hbStopped := make(chan struct{})
 	go func() {
@@ -118,19 +145,104 @@ func (l *leaseRunner) RunJob(ctx context.Context, key string, spec campaign.Spec
 		}
 	}()
 
-	jr, err := l.inner.RunJob(ctx, key, spec, job)
+	jr, err = l.inner.RunJob(ctx, key, spec, job)
 	close(hbDone)
 	<-hbStopped
 
 	// Publish before releasing — the order the at-most-once argument
-	// rests on. A failed put keeps the result (the pool's own cache-store
-	// retries it) but still releases, so a sibling is never deadlocked on
-	// a dead lease.
+	// rests on; one transaction where the store folds the two. A failed
+	// put keeps the result (the pool's own cache-store retries it) but
+	// still releases, so a sibling is never deadlocked on a dead lease.
 	if err == nil {
+		if l.publish(key, jr) {
+			return jr, nil
+		}
 		_ = l.store.PutJob(key, jr)
 	}
 	_ = l.store.ReleaseJobLease(key, l.owner)
 	return jr, err
+}
+
+// publish stores jr and releases the lease in one store transaction when
+// the backend offers JobPublisher, reporting whether it did. false — the
+// store lacks the op, or it failed — sends the caller down the two-step
+// PutJob + ReleaseJobLease path.
+func (l *leaseRunner) publish(key string, jr campaign.JobResult) bool {
+	p, ok := l.store.(JobPublisher)
+	if !ok {
+		return false
+	}
+	return p.PublishJob(key, l.owner, jr) == nil
+}
+
+// acquire claims key's lease, waiting out a live holder. acquired is false
+// when the wait ended with the holder's published result instead — the
+// normal way a wait ends. While blocked, the runner stays read-only
+// against the store: it arms the in-process notifier before every check
+// (so no release or publish between check and sleep is missed), peeks the
+// lease instead of re-attempting the acquire while a live sibling
+// demonstrably holds it, and sleeps on jittered exponential backoff capped
+// at TTL/4 between checks.
+func (l *leaseRunner) acquire(ctx context.Context, key string) (campaign.JobResult, bool, error) {
+	err := l.store.AcquireJobLease(key, l.owner, l.ttl)
+	if err == nil {
+		l.m.leaseAcquired.Inc()
+		return campaign.JobResult{}, true, nil
+	}
+	if !errors.Is(err, ErrLeaseHeld) {
+		return campaign.JobResult{}, false, fmt.Errorf("%w: acquiring job lease: %v", ErrStore, err)
+	}
+
+	l.m.leaseWaits.Inc()
+	start := time.Now()
+	defer func() { l.m.leaseWaitSecs.Observe(time.Since(start).Seconds()) }()
+
+	peeker, _ := l.store.(LeasePeeker)
+	notifier, _ := l.store.(LeaseNotifier)
+	backoff := newLeaseBackoff(l.ttl)
+	for {
+		// Arm the wakeup before reading any state: a publish or release
+		// landing between the checks below and the select still fires the
+		// channel. A nil channel (no notifier, or a decorator over a
+		// store without one) never fires; the backoff timer carries the
+		// wait alone.
+		var wake <-chan struct{}
+		if notifier != nil {
+			wake = notifier.LeaseChanged()
+		}
+		if jr, jerr := l.store.Job(key); jerr == nil {
+			l.m.leaseServed.Inc()
+			return jr, false, nil
+		}
+		// While a live sibling holds the lease, an acquire attempt is a
+		// foregone conclusion that costs an exclusive-lock write
+		// transaction on the shared backends — peek read-only instead and
+		// only attempt the acquire when the lease looks free (or the peek
+		// cannot say).
+		free := true
+		if peeker != nil {
+			if owner, held, perr := peeker.PeekJobLease(key); perr == nil && held && owner != l.owner {
+				free = false
+			}
+		}
+		if free {
+			err := l.store.AcquireJobLease(key, l.owner, l.ttl)
+			if err == nil {
+				l.m.leaseAcquired.Inc()
+				return campaign.JobResult{}, true, nil
+			}
+			if !errors.Is(err, ErrLeaseHeld) {
+				return campaign.JobResult{}, false, fmt.Errorf("%w: acquiring job lease: %v", ErrStore, err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return campaign.JobResult{}, false, ctx.Err()
+		case <-wake:
+			backoff.reset()
+		case <-time.After(backoff.wait()):
+		}
+	}
 }
 
 // countedLocalRunner is LocalRunner plus the pool's executed-jobs counter:

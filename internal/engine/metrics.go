@@ -22,8 +22,17 @@ type engineMetrics struct {
 	jobKeys       *obs.Counter
 	leaseAcquired *obs.Counter
 	leaseWaits    *obs.Counter
+	leaseWaitSecs *obs.Histogram
 	leaseServed   *obs.Counter
 	poolExec      *obs.Counter
+}
+
+// storeInstrumenter is implemented by stores that carry instruments of
+// their own — the SQLite group committer's fsync/batch meters, the read
+// cache's hit/miss counters. engine.New invokes it before first use; it
+// must tolerate a nil registry.
+type storeInstrumenter interface {
+	instrument(r *obs.Registry)
 }
 
 // newEngineMetrics materialises the engine's instruments against r (all
@@ -42,6 +51,9 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 			"Job leases acquired by this engine."),
 		leaseWaits: r.Counter("cherivoke_engine_lease_waits_total",
 			"Jobs that waited on another engine's live lease."),
+		leaseWaitSecs: r.Histogram("cherivoke_engine_lease_wait_seconds",
+			"Time a runner spent blocked on a sibling engine's job lease.",
+			obs.ExpBuckets(0.001, 2, 14)),
 		leaseServed: r.Counter("cherivoke_engine_lease_served_total",
 			"Jobs served from the shared store instead of executing, because a sibling engine computed them."),
 		poolExec: r.CounterVec(obs.MetricJobsExecuted,
@@ -210,4 +222,41 @@ func (t *timedStore) MaxSeq() (int, error) {
 	n, err := t.inner.MaxSeq()
 	t.observe("max_seq", start, err, false)
 	return n, err
+}
+
+// PeekJobLease implements LeasePeeker, forwarding when the inner store
+// offers it. errors.ErrUnsupported (not counted as a store error) sends
+// the caller down the acquire-poll path.
+func (t *timedStore) PeekJobLease(key string) (string, bool, error) {
+	p, ok := t.inner.(LeasePeeker)
+	if !ok {
+		return "", false, errors.ErrUnsupported
+	}
+	start := time.Now()
+	owner, held, err := p.PeekJobLease(key)
+	t.observe("peek_lease", start, err, false)
+	return owner, held, err
+}
+
+// LeaseChanged implements LeaseNotifier, forwarding; a nil channel (never
+// ready) when the inner store has no notifier.
+func (t *timedStore) LeaseChanged() <-chan struct{} {
+	if n, ok := t.inner.(LeaseNotifier); ok {
+		return n.LeaseChanged()
+	}
+	return nil
+}
+
+// PublishJob implements JobPublisher, forwarding when the inner store
+// offers it. errors.ErrUnsupported (not counted as a store error) sends
+// the caller down the two-step put + release path.
+func (t *timedStore) PublishJob(key, owner string, jr campaign.JobResult) error {
+	p, ok := t.inner.(JobPublisher)
+	if !ok {
+		return errors.ErrUnsupported
+	}
+	start := time.Now()
+	err := p.PublishJob(key, owner, jr)
+	t.observe("publish_job", start, err, errors.Is(err, errors.ErrUnsupported))
+	return err
 }

@@ -92,6 +92,69 @@ type Store interface {
 	MaxSeq() (int, error)
 }
 
+// LeasePeeker is the optional read-only lease inspection a Store can offer.
+// Waiters blocked on a sibling's lease poll through it: a peek never
+// appends, never fsyncs, and (on SQLiteStore) usually costs one fstat — the
+// read-only wait loop the lease protocol's fast path is built on. held
+// reports whether a live lease exists, and owner identifies its holder.
+type LeasePeeker interface {
+	// PeekJobLease reports key's live lease, if any, without mutating it.
+	PeekJobLease(key string) (owner string, held bool, err error)
+}
+
+// LeaseNotifier is the optional in-process wakeup a Store can offer: the
+// returned channel is closed when any lease is released or any job record
+// is published, after which waiters must call again for a fresh channel.
+// Waiters arm the channel *before* re-checking state, so no transition is
+// missed; cross-process waiters see nothing here and fall back to jittered
+// backoff. A nil channel (never ready) is the "unsupported" answer
+// decorators forward for stores without a notifier.
+type LeaseNotifier interface {
+	// LeaseChanged returns a channel closed on the next lease release or
+	// job publication.
+	LeaseChanged() <-chan struct{}
+}
+
+// JobPublisher is the optional combined publish-and-release a Store can
+// offer: the job record write and the lease release fold into one durable
+// transaction. The lease protocol's "publish before release" ordering
+// holds trivially — there is no observable state between the two — and the
+// write cost of finishing a job halves. Publishing without holding the
+// lease still stores the record and releases nothing.
+type JobPublisher interface {
+	// PublishJob stores jr under key and releases owner's lease on it in
+	// one transaction.
+	PublishJob(key, owner string, jr campaign.JobResult) error
+}
+
+// leaseSignal is a close-broadcast notifier: wait hands out one shared
+// channel, broadcast closes it and forgets it, waking every waiter at
+// once. The next wait re-arms a fresh channel.
+type leaseSignal struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// wait returns the channel the next broadcast will close.
+func (ls *leaseSignal) wait() <-chan struct{} {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.ch == nil {
+		ls.ch = make(chan struct{})
+	}
+	return ls.ch
+}
+
+// broadcast wakes every waiter armed since the last broadcast.
+func (ls *leaseSignal) broadcast() {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.ch != nil {
+		close(ls.ch)
+		ls.ch = nil
+	}
+}
+
 // lease is one job lease's state, shared by every backend: the holding
 // owner and the wall-clock instant the grant lapses.
 type lease struct {
@@ -149,6 +212,7 @@ type MemStore struct {
 	results   map[string][]byte
 	jobs      map[string][]byte
 	leases    map[string]lease
+	signal    leaseSignal
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -235,10 +299,52 @@ func (s *MemStore) AcquireJobLease(key, owner string, ttl time.Duration) error {
 // ReleaseJobLease implements Store.
 func (s *MemStore) ReleaseJobLease(key, owner string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if cur, ok := s.leases[key]; ok && cur.Owner == owner {
 		delete(s.leases, key)
 	}
+	s.mu.Unlock()
+	s.signal.broadcast()
+	return nil
+}
+
+// PeekJobLease implements LeasePeeker.
+func (s *MemStore) PeekJobLease(key string) (string, bool, error) {
+	if !validRecordName(key) {
+		return "", false, fmt.Errorf("engine: invalid lease key %q", key)
+	}
+	s.mu.RLock()
+	cur, ok := s.leases[key]
+	s.mu.RUnlock()
+	if ok && cur.live(time.Now()) {
+		return cur.Owner, true, nil
+	}
+	return "", false, nil
+}
+
+// LeaseChanged implements LeaseNotifier.
+func (s *MemStore) LeaseChanged() <-chan struct{} { return s.signal.wait() }
+
+// PublishJob implements JobPublisher: the job write and the lease release
+// are one critical section, so a waiter that observes the lease gone also
+// observes the result present.
+func (s *MemStore) PublishJob(key, owner string, jr campaign.JobResult) error {
+	if !validRecordName(key) {
+		return fmt.Errorf("engine: invalid record name %q", key)
+	}
+	if owner == "" {
+		return errors.New("engine: lease owner must be non-empty")
+	}
+	b, err := json.Marshal(jr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.jobs[key] = b
+	if cur, ok := s.leases[key]; ok && cur.Owner == owner {
+		delete(s.leases, key)
+	}
+	s.mu.Unlock()
+	s.signal.broadcast()
 	return nil
 }
 
@@ -276,9 +382,14 @@ func (s *MemStore) Result(id string) (*campaign.Result, error) {
 	return &res, nil
 }
 
-// PutJob implements Store.
+// PutJob implements Store. A publication may end a sibling's wait, so it
+// fires the lease notifier.
 func (s *MemStore) PutJob(key string, jr campaign.JobResult) error {
-	return s.put(s.jobs, key, jr)
+	if err := s.put(s.jobs, key, jr); err != nil {
+		return err
+	}
+	s.signal.broadcast()
+	return nil
 }
 
 // Job implements Store.

@@ -36,6 +36,25 @@ func Run(t *testing.T, open func(t *testing.T) engine.Store) {
 	t.Run("LeaseExpirySteal", func(t *testing.T) { testLeaseExpirySteal(t, open(t)) })
 	t.Run("LeaseArgs", func(t *testing.T) { testLeaseArgs(t, open(t)) })
 	t.Run("LeaseOneWinner", func(t *testing.T) { testLeaseOneWinner(t, open(t)) })
+	t.Run("ConcurrentWriters", func(t *testing.T) { testConcurrentWriters(t, open(t)) })
+	t.Run("InterleavedLeasePuts", func(t *testing.T) { testInterleavedLeasePuts(t, open(t)) })
+	t.Run("PublishJob", func(t *testing.T) { testPublishJob(t, open(t)) })
+	t.Run("PeekJobLease", func(t *testing.T) { testPeekJobLease(t, open(t)) })
+	t.Run("LeaseChanged", func(t *testing.T) { testLeaseChanged(t, open(t)) })
+}
+
+// RunShared exercises the cross-handle contract: open must return two
+// independent handles onto the same underlying store (two opens of one
+// file, two engines' decorators over one backend). Records acknowledged
+// through either handle must be served — byte-identical — through the
+// other, and the lease protocol must exclude across handles exactly as it
+// does within one.
+func RunShared(t *testing.T, open func(t *testing.T) (a, b engine.Store)) {
+	t.Helper()
+	t.Run("CrossHandleVisibility", func(t *testing.T) { a, b := open(t); testCrossHandleVisibility(t, a, b) })
+	t.Run("CrossHandleLease", func(t *testing.T) { a, b := open(t); testCrossHandleLease(t, a, b) })
+	t.Run("CrossHandleConcurrent", func(t *testing.T) { a, b := open(t); testCrossHandleConcurrent(t, a, b) })
+	t.Run("CrossHandlePublish", func(t *testing.T) { a, b := open(t); testCrossHandlePublish(t, a, b) })
 }
 
 // testCampaign builds a distinctive campaign record for sequence seq.
@@ -331,6 +350,378 @@ func testLeaseOneWinner(t *testing.T, s engine.Store) {
 	}
 	if winners != 1 {
 		t.Errorf("%d racers won the lease, want exactly 1", winners)
+	}
+}
+
+// testJR builds a distinctive job result for n — distinct inputs produce
+// distinct canonical bytes, so visibility checks cannot pass by accident.
+func testJR(n int) campaign.JobResult {
+	return campaign.JobResult{
+		Job:        campaign.Job{ID: n, Profile: "povray", Seed: uint64(1000 + n)},
+		AppSeconds: float64(n) + 0.5,
+		Mallocs:    uint64(n * 10),
+	}
+}
+
+// testConcurrentWriters drives many concurrent mutations — puts, campaign
+// records, lease traffic — through one handle and then audits that every
+// acknowledged record is served back byte-identical. On a group-committing
+// backend the writers coalesce into shared batches; the acknowledgement
+// contract ("acked records survive") must be indistinguishable from the
+// serial store's.
+func testConcurrentWriters(t *testing.T, s engine.Store) {
+	t.Helper()
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, writers*2)
+	for i := 0; i < writers; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			errs[2*i] = s.PutJob(jobKey(100+i), testJR(i))
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			c := testCampaign(100 + i)
+			if err := s.PutCampaign(c); err != nil {
+				errs[2*i+1] = err
+				return
+			}
+			// Lease traffic interleaves with the puts in the same batches.
+			if err := s.AcquireJobLease(jobKey(200+i), c.ID, time.Minute); err != nil {
+				errs[2*i+1] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	for i := 0; i < writers; i++ {
+		jr, err := s.Job(jobKey(100 + i))
+		if err != nil {
+			t.Fatalf("Job(%d) after acked put: %v", i, err)
+		}
+		if want := testJR(i); !bytes.Equal(mustJSON(t, jr), mustJSON(t, want)) {
+			t.Errorf("job %d round-trip mismatch after concurrent commit", i)
+		}
+		if _, err := s.Campaign(testCampaign(100 + i).ID); err != nil {
+			t.Errorf("Campaign(%d) after acked put: %v", i, err)
+		}
+		if err := s.AcquireJobLease(jobKey(200+i), "intruder", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+			t.Errorf("lease %d acquired concurrently did not exclude: err = %v", i, err)
+		}
+	}
+}
+
+// testInterleavedLeasePuts interleaves lease hand-offs and job puts on one
+// key and checks the store folds them in operation order: the final read
+// serves the last acknowledged put, and the lease ends with the last
+// acquirer. A batching store that reordered records within a batch would
+// fail the final-state checks.
+func testInterleavedLeasePuts(t *testing.T, s engine.Store) {
+	t.Helper()
+	key := jobKey(30)
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		owner := fmt.Sprintf("owner%d", i)
+		if err := s.AcquireJobLease(key, owner, time.Minute); err != nil {
+			t.Fatalf("round %d acquire: %v", i, err)
+		}
+		if err := s.PutJob(key, testJR(i)); err != nil {
+			t.Fatalf("round %d put: %v", i, err)
+		}
+		if i < rounds-1 {
+			if err := s.ReleaseJobLease(key, owner); err != nil {
+				t.Fatalf("round %d release: %v", i, err)
+			}
+		}
+	}
+	got, err := s.Job(key)
+	if err != nil {
+		t.Fatalf("Job after interleaved rounds: %v", err)
+	}
+	if want := testJR(rounds - 1); !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+		t.Errorf("job did not fold in append order:\n got %s\nwant %s", mustJSON(t, got), mustJSON(t, want))
+	}
+	// The final round left its lease held; the holder must still be the
+	// last acquirer, and no one else.
+	if err := s.AcquireJobLease(key, "intruder", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Fatalf("final lease did not survive the interleaving: err = %v", err)
+	}
+	if err := s.AcquireJobLease(key, fmt.Sprintf("owner%d", rounds-1), time.Minute); err != nil {
+		t.Fatalf("final holder cannot renew: %v", err)
+	}
+}
+
+// testPublishJob exercises the optional JobPublisher contract: publish
+// stores the record and releases the caller's lease as one observable
+// step, a non-holder's publish still stores the record but leaves the
+// lease alone, and an empty owner is rejected.
+func testPublishJob(t *testing.T, s engine.Store) {
+	t.Helper()
+	p, ok := s.(engine.JobPublisher)
+	if !ok {
+		t.Skip("store does not implement JobPublisher")
+	}
+	key := jobKey(40)
+	if err := s.AcquireJobLease(key, "alpha", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease: %v", err)
+	}
+	if err := p.PublishJob(key, "alpha", testJR(1)); err != nil {
+		t.Fatalf("PublishJob: %v", err)
+	}
+	got, err := s.Job(key)
+	if err != nil {
+		t.Fatalf("Job after publish: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, testJR(1))) {
+		t.Errorf("published job is not byte-identical")
+	}
+	// The publish released alpha's lease: beta acquires immediately.
+	if err := s.AcquireJobLease(key, "beta", time.Minute); err != nil {
+		t.Fatalf("lease survived its holder's publish: %v", err)
+	}
+	// A non-holder's publish stores the record but must not break the
+	// live holder's lease.
+	key2 := jobKey(41)
+	if err := s.AcquireJobLease(key2, "gamma", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease: %v", err)
+	}
+	if err := p.PublishJob(key2, "stranger", testJR(2)); err != nil {
+		t.Fatalf("PublishJob by non-holder: %v", err)
+	}
+	if _, err := s.Job(key2); err != nil {
+		t.Errorf("non-holder publish lost the record: %v", err)
+	}
+	if err := s.AcquireJobLease(key2, "delta", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Errorf("non-holder publish released gamma's lease: err = %v", err)
+	}
+	if err := p.PublishJob(jobKey(42), "", testJR(3)); err == nil {
+		t.Errorf("PublishJob with empty owner: accepted, want a validation error")
+	}
+}
+
+// testPeekJobLease exercises the optional LeasePeeker contract: peeks are
+// read-only and report (owner, held) tracking acquire, release, and expiry.
+func testPeekJobLease(t *testing.T, s engine.Store) {
+	t.Helper()
+	p, ok := s.(engine.LeasePeeker)
+	if !ok {
+		t.Skip("store does not implement LeasePeeker")
+	}
+	key := jobKey(50)
+	if owner, held, err := p.PeekJobLease(key); err != nil || held {
+		t.Fatalf("PeekJobLease of free key = (%q, %v, %v), want not held", owner, held, err)
+	}
+	if err := s.AcquireJobLease(key, "alpha", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease: %v", err)
+	}
+	if owner, held, err := p.PeekJobLease(key); err != nil || !held || owner != "alpha" {
+		t.Fatalf("PeekJobLease of held key = (%q, %v, %v), want (alpha, true)", owner, held, err)
+	}
+	// Peeking must not disturb the lease.
+	if err := s.AcquireJobLease(key, "beta", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Fatalf("peek disturbed the lease: err = %v", err)
+	}
+	if err := s.ReleaseJobLease(key, "alpha"); err != nil {
+		t.Fatalf("ReleaseJobLease: %v", err)
+	}
+	if owner, held, err := p.PeekJobLease(key); err != nil || held {
+		t.Fatalf("PeekJobLease after release = (%q, %v, %v), want not held", owner, held, err)
+	}
+	// An expired lease peeks as free.
+	if err := s.AcquireJobLease(key, "gamma", 30*time.Millisecond); err != nil {
+		t.Fatalf("AcquireJobLease: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if owner, held, err := p.PeekJobLease(key); err != nil || held {
+		t.Fatalf("PeekJobLease after expiry = (%q, %v, %v), want not held", owner, held, err)
+	}
+	if _, _, err := p.PeekJobLease("../evil"); err == nil {
+		t.Errorf("PeekJobLease accepted an invalid key")
+	}
+}
+
+// testLeaseChanged exercises the optional LeaseNotifier contract: an armed
+// channel fires on a release and on a job publish/put — the two events a
+// blocked waiter cares about.
+func testLeaseChanged(t *testing.T, s engine.Store) {
+	t.Helper()
+	n, ok := s.(engine.LeaseNotifier)
+	if !ok {
+		t.Skip("store does not implement LeaseNotifier")
+	}
+	key := jobKey(60)
+	if err := s.AcquireJobLease(key, "alpha", time.Minute); err != nil {
+		t.Fatalf("AcquireJobLease: %v", err)
+	}
+	wake := n.LeaseChanged()
+	if wake == nil {
+		t.Skip("store reports no notification support (nil channel)")
+	}
+	if err := s.ReleaseJobLease(key, "alpha"); err != nil {
+		t.Fatalf("ReleaseJobLease: %v", err)
+	}
+	select {
+	case <-wake:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("LeaseChanged channel did not fire on release")
+	}
+	// Re-arm: a job put (the publish a waiter is really waiting for) also
+	// fires the channel.
+	wake = n.LeaseChanged()
+	if err := s.PutJob(key, testJR(9)); err != nil {
+		t.Fatalf("PutJob: %v", err)
+	}
+	select {
+	case <-wake:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("LeaseChanged channel did not fire on job put")
+	}
+}
+
+func testCrossHandleVisibility(t *testing.T, a, b engine.Store) {
+	t.Helper()
+	// a → b: campaign, job, result.
+	if err := a.PutCampaign(testCampaign(1)); err != nil {
+		t.Fatalf("a.PutCampaign: %v", err)
+	}
+	got, err := b.Campaign(testCampaign(1).ID)
+	if err != nil {
+		t.Fatalf("b.Campaign after a's put: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, testCampaign(1))) {
+		t.Errorf("campaign not byte-identical across handles")
+	}
+	if err := a.PutJob(jobKey(1), testJR(1)); err != nil {
+		t.Fatalf("a.PutJob: %v", err)
+	}
+	jr, err := b.Job(jobKey(1))
+	if err != nil {
+		t.Fatalf("b.Job after a's put: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, jr), mustJSON(t, testJR(1))) {
+		t.Errorf("job not byte-identical across handles")
+	}
+	// b → a: an update through the second handle must supersede the first
+	// handle's view (no stale read from a's in-memory state).
+	c := testCampaign(1)
+	c.State = engine.StateDone
+	if err := b.PutCampaign(c); err != nil {
+		t.Fatalf("b.PutCampaign: %v", err)
+	}
+	got, err = a.Campaign(c.ID)
+	if err != nil {
+		t.Fatalf("a.Campaign after b's update: %v", err)
+	}
+	if got.State != engine.StateDone {
+		t.Errorf("a served a stale campaign after b's update: state %q", got.State)
+	}
+	res := &campaign.Result{Summary: campaign.Summary{Jobs: 3}}
+	if err := b.PutResult("c000002", res); err != nil {
+		t.Fatalf("b.PutResult: %v", err)
+	}
+	rgot, err := a.Result("c000002")
+	if err != nil {
+		t.Fatalf("a.Result after b's put: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, rgot), mustJSON(t, res)) {
+		t.Errorf("result not byte-identical across handles")
+	}
+	// MaxSeq folds both handles' writes.
+	if n, err := a.MaxSeq(); err != nil || n != 2 {
+		t.Errorf("a.MaxSeq = %d, %v; want 2", n, err)
+	}
+}
+
+func testCrossHandleLease(t *testing.T, a, b engine.Store) {
+	t.Helper()
+	key := jobKey(5)
+	if err := a.AcquireJobLease(key, "alpha", time.Minute); err != nil {
+		t.Fatalf("a.AcquireJobLease: %v", err)
+	}
+	if err := b.AcquireJobLease(key, "beta", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Fatalf("b acquired a lease a holds: err = %v, want ErrLeaseHeld", err)
+	}
+	if p, ok := b.(engine.LeasePeeker); ok {
+		if owner, held, err := p.PeekJobLease(key); err != nil || !held || owner != "alpha" {
+			t.Errorf("b.PeekJobLease = (%q, %v, %v), want (alpha, true)", owner, held, err)
+		}
+	}
+	if err := a.ReleaseJobLease(key, "alpha"); err != nil {
+		t.Fatalf("a.ReleaseJobLease: %v", err)
+	}
+	if err := b.AcquireJobLease(key, "beta", time.Minute); err != nil {
+		t.Fatalf("b.AcquireJobLease after a's release: %v", err)
+	}
+	if err := a.AcquireJobLease(key, "alpha", time.Minute); !errors.Is(err, engine.ErrLeaseHeld) {
+		t.Fatalf("a re-acquired b's lease: err = %v, want ErrLeaseHeld", err)
+	}
+}
+
+func testCrossHandleConcurrent(t *testing.T, a, b engine.Store) {
+	t.Helper()
+	const each = 12
+	var wg sync.WaitGroup
+	errs := make([]error, each*2)
+	for i := 0; i < each; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			errs[2*i] = a.PutJob(jobKey(300+i), testJR(i))
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			errs[2*i+1] = b.PutJob(jobKey(400+i), testJR(100+i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	// Every record is visible through BOTH handles — including the one
+	// that did not write it.
+	for i := 0; i < each; i++ {
+		for _, h := range []engine.Store{a, b} {
+			if _, err := h.Job(jobKey(300 + i)); err != nil {
+				t.Fatalf("job 300+%d invisible through a handle: %v", i, err)
+			}
+			if _, err := h.Job(jobKey(400 + i)); err != nil {
+				t.Fatalf("job 400+%d invisible through a handle: %v", i, err)
+			}
+		}
+	}
+}
+
+func testCrossHandlePublish(t *testing.T, a, b engine.Store) {
+	t.Helper()
+	pa, ok := a.(engine.JobPublisher)
+	if !ok {
+		t.Skip("store does not implement JobPublisher")
+	}
+	key := jobKey(7)
+	if err := a.AcquireJobLease(key, "alpha", time.Minute); err != nil {
+		t.Fatalf("a.AcquireJobLease: %v", err)
+	}
+	if err := pa.PublishJob(key, "alpha", testJR(7)); err != nil {
+		t.Fatalf("a.PublishJob: %v", err)
+	}
+	// The waiter's view through the other handle: result present AND lease
+	// free — never one without the other.
+	jr, err := b.Job(key)
+	if err != nil {
+		t.Fatalf("b.Job after a's publish: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, jr), mustJSON(t, testJR(7))) {
+		t.Errorf("published job not byte-identical across handles")
+	}
+	if err := b.AcquireJobLease(key, "beta", time.Minute); err != nil {
+		t.Fatalf("b could not acquire after a's publish: %v", err)
 	}
 }
 

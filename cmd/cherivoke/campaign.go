@@ -38,6 +38,7 @@ func serveCmd(args []string) error {
 	authToken := fs.String("auth-token", "", "bearer token for the internal job API (workers require it, coordinators send it; empty = unauthenticated)")
 	workerInflight := fs.Int("worker-inflight", 0, "max jobs dispatched concurrently per worker (0 = 4)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (profiling endpoints reveal heap contents; off by default)")
+	liveIdle := fs.Duration("live-idle", 0, "idle timeout for live trace ingestion connections (0 = 60s, negative disables)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir] [-store spec]")
 		fmt.Fprintln(os.Stderr, "                       [-worker] [-worker-urls url,url] [-workers-from file] [-auth-token tok] [-worker-inflight N] [-pprof]")
@@ -51,16 +52,17 @@ func serveCmd(args []string) error {
 		return err
 	}
 	svc, err := server.New(server.Options{
-		Workers:        *workers,
-		TraceDir:       *traceDir,
-		StateDir:       *stateDir,
-		Store:          *storeSpec,
-		LockStateDir:   true,
-		Worker:         *worker,
-		WorkerURLs:     urls,
-		AuthToken:      *authToken,
-		WorkerInFlight: *workerInflight,
-		Pprof:          *pprofFlag,
+		Workers:         *workers,
+		TraceDir:        *traceDir,
+		StateDir:        *stateDir,
+		Store:           *storeSpec,
+		LockStateDir:    true,
+		Worker:          *worker,
+		WorkerURLs:      urls,
+		AuthToken:       *authToken,
+		WorkerInFlight:  *workerInflight,
+		Pprof:           *pprofFlag,
+		LiveIdleTimeout: *liveIdle,
 	})
 	if err != nil {
 		return err
@@ -73,6 +75,7 @@ func serveCmd(args []string) error {
 	}
 	fmt.Printf("cherivoke campaign service listening on %s\n", *addr)
 	fmt.Printf("  POST /campaigns, GET /campaigns/{id}, GET /campaigns/{id}/results, GET /figures/{name}, POST /traces, GET /healthz\n")
+	fmt.Printf("  live ingestion: POST /live (streamed trace), GET /live/{id}/events (SSE)\n")
 	fmt.Printf("  observability: GET /metrics (Prometheus text), GET /dashboard (live operations)\n")
 	if *pprofFlag {
 		fmt.Printf("  profiling: /debug/pprof enabled\n")

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/livetrace"
+)
+
+// liveCmd streams a trace file (or stdin) into a running campaign service's
+// POST /live endpoint and prints the session's final Info JSON. The body
+// is sent as produced — piping `trace record` straight in works — and the
+// server analyzes it window by window while it arrives. Exit status is
+// zero only for a session that ended done (which implies it reconciled
+// byte-identically with a post-hoc replay of the stored trace).
+//
+//	cherivoke live [-server URL] [-window N] <file|->
+func liveCmd(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8080", "base URL of the campaign service")
+	window := fs.Int("window", 0, "analysis window in events (0 = server default)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cherivoke live [-server URL] [-window N] <file|->")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	url := strings.TrimRight(*serverURL, "/") + "/live"
+	if *window > 0 {
+		url += fmt.Sprintf("?window=%d", *window)
+	}
+	resp, err := http.Post(url, "application/octet-stream", io.NopCloser(in))
+	if err != nil {
+		return fmt.Errorf("streaming to %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading final session info: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server rejected the stream: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if id := resp.Header.Get("X-Live-Session"); id != "" {
+		fmt.Fprintf(os.Stderr, "live session %s (events: %s/live/%s/events)\n", id, strings.TrimRight(*serverURL, "/"), id)
+	}
+
+	// The body is the final Info; echo it verbatim and judge the outcome.
+	var info livetrace.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		return fmt.Errorf("decoding final session info: %w", err)
+	}
+	os.Stdout.Write(bytes.TrimSpace(body))
+	fmt.Println()
+	if info.State != livetrace.StateDone {
+		return fmt.Errorf("live session %s %s: %s", info.ID, info.State, info.Error)
+	}
+	return nil
+}

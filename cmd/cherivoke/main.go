@@ -6,7 +6,8 @@
 //	cherivoke [-quick] [-seed N] [-workers N] [table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|ablations|invariance|all]
 //	cherivoke trace record [-quick] [-seed N] [-format binary|ndjson|json] [-o out] <benchmark>
 //	cherivoke trace info <file|->
-//	cherivoke replay <file>                            # replay a trace under both allocators
+//	cherivoke replay [-stats] <file>                   # replay a trace under both allocators
+//	cherivoke live [-server URL] [-window N] <file|->  # stream a trace into a running server's /live
 //	cherivoke campaign [-workers N] [-statedir dir] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]
 //	cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir] [-pprof]
 //
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/livetrace"
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
 	"repro/internal/sim"
@@ -53,11 +56,12 @@ func main() {
 			}
 			return
 		case "replay":
-			if len(os.Args) != 3 {
-				fmt.Fprintln(os.Stderr, "usage: cherivoke replay <file>")
-				os.Exit(2)
+			if err := replayCmd(os.Args[2:]); err != nil {
+				fatal(err)
 			}
-			if err := replayCmd(os.Args[2]); err != nil {
+			return
+		case "live":
+			if err := liveCmd(os.Args[2:]); err != nil {
 				fatal(err)
 			}
 			return
@@ -71,7 +75,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: cherivoke [-quick] [-seed N] [-workers N] [table1|table2|fig5..fig10|ablations|invariance|all]\n")
 		fmt.Fprintf(os.Stderr, "       cherivoke trace record [-quick] [-seed N] [-format binary|ndjson|json] [-o out] <benchmark>\n")
 		fmt.Fprintf(os.Stderr, "       cherivoke trace info <file|->\n")
-		fmt.Fprintf(os.Stderr, "       cherivoke replay <file>\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke replay [-stats] <file>\n")
+		fmt.Fprintf(os.Stderr, "       cherivoke live [-server URL] [-window N] <file|->\n")
 		fmt.Fprintf(os.Stderr, "       cherivoke campaign [-workers N] [-statedir dir] [-trace file|-] [-o out.json] [-csv out.csv] [spec.json]\n")
 		fmt.Fprintf(os.Stderr, "       cherivoke serve [-addr :8080] [-workers N] [-tracedir dir] [-statedir dir]\n")
 		flag.PrintDefaults()
@@ -131,8 +136,61 @@ func fatal(err error) {
 
 // replayCmd streams a trace file (any encoding) under both the CHERIvoke
 // and direct-free configurations, printing the comparison. Each mode is a
-// separate streaming pass over the file; nothing is materialised.
-func replayCmd(path string) error {
+// separate streaming pass over the file; nothing is materialised. With
+// -stats it instead prints the CHERIvoke pass's accumulated StreamStats as
+// JSON — the same shape a live session reports, so the two can be diffed
+// byte-for-byte.
+func replayCmd(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	stats := fs.Bool("stats", false, "print the CHERIvoke replay's accumulated stream stats as JSON (the live-session reconciliation format)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cherivoke replay [-stats] <file>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *stats {
+		return replayStats(fs.Arg(0))
+	}
+	return replayCompare(fs.Arg(0))
+}
+
+// replayStats replays path under the live-ingestion analysis configuration
+// and prints the accumulated StreamStats JSON.
+func replayStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	tr, err := workload.NewTraceReader(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	defer tr.Close()
+	sys, err := core.New(livetrace.AnalysisConfig())
+	if err != nil {
+		return err
+	}
+	st, err := workload.ReplayStreamStats(sys, workload.NewStreamingSource(tr, 0))
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// replayCompare is the classic two-pass comparison.
+func replayCompare(path string) error {
 	var hdr workload.TraceHeader
 	var events int
 	for i, mode := range []struct {

@@ -19,9 +19,11 @@ var auditedPackages = []string{
 	"internal/campaign",
 	"internal/engine",
 	"internal/engine/storetest",
+	"internal/livetrace",
 	"internal/obs",
 	"internal/revoke",
 	"internal/server",
+	"internal/testutil",
 	"internal/workload",
 }
 

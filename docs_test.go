@@ -65,7 +65,7 @@ func TestDocsAreLinkedFromReadme(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/API.md", "docs/TRACE_FORMAT.md", "docs/DEPLOYMENT.md", "docs/OBSERVABILITY.md", "docs/BENCHMARKS.md"} {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/API.md", "docs/TRACE_FORMAT.md", "docs/DEPLOYMENT.md", "docs/OBSERVABILITY.md", "docs/BENCHMARKS.md", "docs/LIVE.md"} {
 		if _, err := os.Stat(doc); err != nil {
 			t.Errorf("%s missing: %v", doc, err)
 			continue

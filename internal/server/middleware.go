@@ -39,6 +39,13 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, so handlers
+// behind the middleware can reach the connection's controls (read deadlines,
+// full-duplex) — the live ingest handler depends on both.
+func (sw *statusWriter) Unwrap() http.ResponseWriter {
+	return sw.ResponseWriter
+}
+
 // statusClass folds a status code to its class label ("2xx", "4xx", ...).
 func statusClass(code int) string {
 	if code < 100 || code > 599 {

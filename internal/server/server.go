@@ -73,6 +73,21 @@ type Options struct {
 	// Pprof mounts net/http/pprof under /debug/pprof. Off by default:
 	// profiling endpoints expose heap contents and must be opted into.
 	Pprof bool
+
+	// LiveWindow is the default StreamingSource window, in events, for live
+	// trace sessions (0 = workload.DefaultWindow). Clients may override it
+	// per stream with POST /live?window=N.
+	LiveWindow int
+
+	// LivePending bounds the decoded windows queued between a live
+	// session's socket reader and its analyzer (0 = livetrace's default).
+	// When the queue is full the reader stops draining the connection —
+	// backpressure, never loss.
+	LivePending int
+
+	// LiveIdleTimeout fails a live session whose connection delivers no
+	// bytes for this long (0 = livetrace's default; negative disables).
+	LiveIdleTimeout time.Duration
 }
 
 // Server is a thin HTTP adapter over engine.Engine: it decodes requests,
@@ -82,6 +97,7 @@ type Options struct {
 type Server struct {
 	opts       Options
 	traces     traceStoreState
+	live       liveState
 	engine     *engine.Engine
 	store      engine.Store       // the engine's store, retained for Close
 	hasStore   bool               // a persistent (non-mem) store backs the engine
@@ -175,10 +191,12 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Close releases the server's background resources: the coordinator's
-// worker health-probe loop, the state directory's advisory lock, and the
-// store's file handle where it has one. In-flight requests are unaffected.
+// Close releases the server's background resources: live trace sessions
+// (torn down and waited for), the coordinator's worker health-probe loop,
+// the state directory's advisory lock, and the store's file handle where it
+// has one. Other in-flight requests are unaffected.
 func (s *Server) Close() {
+	s.closeLive()
 	if s.dispatcher != nil {
 		s.dispatcher.Close()
 	}
@@ -227,6 +245,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /traces", s.handleTraceUpload)
 	mux.HandleFunc("GET /traces", s.handleTraceList)
 	mux.HandleFunc("GET /traces/{hash}", s.handleTraceInfo)
+	mux.HandleFunc("POST /live", s.handleLiveIngest)
+	mux.HandleFunc("GET /live", s.handleLiveList)
+	mux.HandleFunc("GET /live/{id}", s.handleLiveInfo)
+	mux.HandleFunc("GET /live/{id}/events", s.handleLiveEvents)
 	mux.HandleFunc("GET /figures", s.handleFigureIndex)
 	mux.HandleFunc("GET /figures/{name}", s.handleFigure)
 	if s.opts.Worker {

@@ -1,0 +1,45 @@
+// Package testutil holds small helpers shared across the repository's test
+// suites. It is imported from _test.go files only and ships no production
+// code.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakSettleTimeout bounds how long CheckGoroutines waits for stragglers to
+// exit before declaring a leak. Goroutines that are shutting down (an HTTP
+// handler returning after its test server closed, a timer firing) need a
+// beat to disappear from the count; real leaks never do.
+const leakSettleTimeout = 5 * time.Second
+
+// CheckGoroutines snapshots the current goroutine count and registers a
+// cleanup that fails the test if the count has not returned to the baseline
+// by the end of the test (retrying for leakSettleTimeout, since goroutine
+// exit is asynchronous). Call it as the first line of a test, BEFORE
+// starting servers or helpers with their own t.Cleanup teardown: cleanups
+// run last-registered-first, so registering the check first makes it run
+// after every teardown has finished.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakSettleTimeout)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines at cleanup, %d at test start\n%s", n, base, buf)
+	})
+}

@@ -741,25 +741,13 @@ func (s *StreamingSource) Close() error { return s.r.Close() }
 
 // ReplayStream executes a streamed trace against sys window by window,
 // returning the number of events applied. It is Replay for sources too
-// large (or too live) to materialise.
+// large (or too live) to materialise. The replay runs through the
+// IncrementalReplay accumulator, so the event application order — and
+// therefore every sweep the replay triggers — is identical to the live
+// firehose's window-at-a-time path.
 func ReplayStream(sys *core.System, src *StreamingSource) (int, error) {
-	var st replayState
-	n := 0
-	for {
-		win, err := src.NextWindow()
-		if err == io.EOF {
-			return n, nil
-		}
-		if err != nil {
-			return n, err
-		}
-		for _, ev := range win {
-			if err := st.apply(sys, n, ev); err != nil {
-				return n, err
-			}
-			n++
-		}
-	}
+	stats, err := ReplayStreamStats(sys, src)
+	return int(stats.Events), err
 }
 
 // RunStream replays a streamed trace against sys and measures it the way
